@@ -1,0 +1,60 @@
+// Extension (§VII-A): where should a customer rent overlay nodes? We build
+// a traffic matrix (every controlled-experiment client as destination, the
+// customer's site as source), measure every candidate DC once, and compare
+// placement strategies for k = 1..4 rented nodes:
+//   greedy submodular maximization vs exhaustive optimum vs random choice.
+
+#include "bench_util.h"
+#include "core/placement.h"
+#include "wkld/experiments.h"
+
+using namespace cronets;
+using namespace cronets::bench;
+
+int main() {
+  wkld::World world(world_seed());
+  auto& net = world.internet();
+
+  // The customer: a headquarters site fanning out to 24 branch clients.
+  const int hq = net.add_server(topo::Region::kNaEast, "placement-hq");
+  std::vector<std::pair<int, int>> pairs;
+  const topo::Region regions[] = {topo::Region::kEurope, topo::Region::kAsia,
+                                  topo::Region::kNaWest, topo::Region::kSouthAmerica};
+  for (int i = 0; i < 24; ++i) {
+    const int c = net.add_client(regions[i % 4], "plc-" + std::to_string(i));
+    pairs.push_back({hq, c});
+  }
+
+  core::PlacementOptimizer opt(&net, &world.meter());
+  opt.measure(pairs, net.dc_endpoints(), sim::Time::hours(1));
+
+  print_header("Ablation: overlay placement",
+               "greedy vs exhaustive vs random DC choice (Sec. VII-A)");
+  std::printf("%4s %26s %26s %26s\n", "k", "greedy (avg improvement)",
+              "exhaustive optimum", "random baseline");
+
+  std::vector<PaperCheck> checks;
+  for (int k = 1; k <= 4; ++k) {
+    const auto g = opt.greedy(k);
+    const auto e = opt.exhaustive(k);
+    const auto r = opt.random_baseline(k, 50, 99);
+    std::string names;
+    for (int ep : g.chosen) names += net.endpoint(ep).name.substr(3) + " ";
+    std::printf("%4d %20.2f (%s) %23.2f %26.2f\n", k, g.avg_improvement,
+                names.c_str(), e.avg_improvement, r.avg_improvement);
+    if (k == 2) {
+      checks.push_back({"greedy/exhaustive value ratio at k=2", 1.0,
+                        g.total_bps / e.total_bps});
+      checks.push_back({"greedy/random value ratio at k=2 (>1)", 1.2,
+                        g.total_bps / r.total_bps});
+    }
+  }
+  // For a single path Table I showed one node suffices; a fan-out traffic
+  // matrix needs geographic coverage, so the curve saturates at k~3.
+  const auto g3 = opt.greedy(3);
+  const auto g4 = opt.greedy(4);
+  checks.push_back({"k=3 captures most of k=4 (coverage saturates)", 0.95,
+                    g3.total_bps / g4.total_bps});
+  print_paper_checks(checks);
+  return 0;
+}

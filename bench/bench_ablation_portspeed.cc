@@ -1,0 +1,60 @@
+// Extension (§VII-C): overlay servers with higher network bandwidths. The
+// paper deployed 100 Mbps virtual NICs and often saturated them; it left
+// 1 Gbps / 10 Gbps ports as future work. We regenerate the controlled
+// experiment's overlay measurements under each port speed and report where
+// the NIC stops being the binding constraint.
+
+#include "bench_util.h"
+#include "wkld/experiments.h"
+
+using namespace cronets;
+using namespace cronets::bench;
+
+int main() {
+  print_header("Ablation: overlay port speed", "100 Mbps vs 1 Gbps vs 10 Gbps VMs");
+  std::printf("%10s %22s %14s %24s %22s\n", "port", "median best-split Mbps",
+              "p95 Mbps", "fraction NIC-saturated", "median improvement");
+
+  std::vector<PaperCheck> checks;
+  double median_100m = 0, median_1g = 0, p95_100m = 0, p95_1g = 0;
+  for (double port : {100e6, 1e9, 10e9}) {
+    topo::CloudParams cloud;
+    cloud.vm_nic_bps = port;
+    wkld::World world(world_seed(), topo::TopologyParams{}, cloud);
+    const auto exp = wkld::run_controlled_experiment(world, 30);
+
+    analysis::Cdf best, ratio;
+    int saturated = 0, n = 0;
+    for (const auto& s : exp.samples) {
+      if (s.direct_bps <= 0) continue;
+      ++n;
+      best.add(s.best_split_bps() / 1e6);
+      ratio.add(s.best_split_bps() / s.direct_bps);
+      saturated += s.best_split_bps() > 0.85 * port;
+    }
+    std::printf("%9.0fM %22.1f %14.1f %24.2f %22.2f\n", port / 1e6, best.median(),
+                best.quantile(0.95), static_cast<double>(saturated) / n,
+                ratio.median());
+    if (port == 100e6) {
+      median_100m = best.median();
+      p95_100m = best.quantile(0.95);
+    }
+    if (port == 1e9) {
+      median_1g = best.median();
+      p95_1g = best.quantile(0.95);
+    }
+  }
+
+  // The NIC cap binds only for the cleanest paths: the median barely moves
+  // while the tail gains.
+  checks.push_back({"1G/100M median gain (~1: middle is the bottleneck)", 1.0,
+                    median_1g / median_100m});
+  checks.push_back({"1G/100M p95 gain (the NIC-capped tail benefits)", 1.1,
+                    p95_1g / p95_100m});
+  print_paper_checks(checks);
+  std::printf("takeaway: once the NIC cap lifts, the commercial middle and the\n"
+              "receiver become the bottleneck — upgrading ports helps the top\n"
+              "quartile of paths, not the median (the paper's 'many cases\n"
+              "saturate 100 Mbps' applies to its cleanest paths).\n\n");
+  return 0;
+}

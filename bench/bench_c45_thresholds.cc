@@ -1,0 +1,75 @@
+// §V-B's C4.5 analysis: train a decision tree on per-tunnel samples with
+// features (relative RTT reduction, relative loss reduction) and label
+// "throughput improved", then read the thresholds off the best positive
+// rule. Paper: decreasing RTT by >= 10.5% and loss by >= 12.1%
+// simultaneously gives a high likelihood of throughput improvement.
+
+#include "analysis/c45.h"
+#include "bench_util.h"
+#include "wkld/experiments.h"
+
+using namespace cronets;
+using namespace cronets::bench;
+
+int main() {
+  wkld::World world(world_seed());
+  const auto exp = wkld::run_controlled_experiment(world);
+
+  analysis::Dataset data;
+  data.feature_names = {"rtt_reduction", "loss_reduction"};
+  for (const auto& s : exp.samples) {
+    for (const auto& o : s.overlays) {
+      const double rtt_red = 1.0 - o.rtt_ms / s.direct_rtt_ms;
+      const double loss_red =
+          s.direct_loss > 0 ? 1.0 - o.loss / s.direct_loss : (o.loss > 0 ? -1.0 : 0.0);
+      data.x.push_back({rtt_red, loss_red});
+      data.y.push_back(o.split_bps > s.direct_bps ? 1 : 0);
+    }
+  }
+
+  analysis::C45Tree tree;
+  analysis::C45Tree::Options opt;
+  opt.min_leaf = 20;
+  tree.train(data, opt);
+
+  print_header("C4.5 (Sec. V-B)", "when does an overlay path improve throughput?");
+  std::printf("training samples: %zu (tunnel paths), positives: %d\n\n",
+              data.y.size(),
+              static_cast<int>(std::count(data.y.begin(), data.y.end(), 1)));
+  std::printf("learned tree:\n%s\n", tree.dump().c_str());
+
+  const auto rule = tree.best_positive_rule(/*min_support=*/40);
+  double rtt_thr = 0.0, loss_thr = 0.0;
+  std::printf("best positive rule (support=%d, confidence=%.2f):\n", rule.support,
+              rule.confidence);
+  for (const auto& c : rule.conditions) {
+    std::printf("  %s %s %.4f\n", data.feature_names[static_cast<std::size_t>(c.feature)].c_str(),
+                c.greater ? ">" : "<=", c.threshold);
+    if (c.greater && c.feature == 0) rtt_thr = std::max(rtt_thr, c.threshold);
+    if (c.greater && c.feature == 1) loss_thr = std::max(loss_thr, c.threshold);
+  }
+
+  // Validate the paper's concrete rule on our measurements: among tunnels
+  // that reduce RTT by >= 10.5% AND loss by >= 12.1%, how many improved?
+  int paper_rule_n = 0, paper_rule_improved = 0;
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    if (data.x[i][0] >= 0.105 && data.x[i][1] >= 0.121) {
+      ++paper_rule_n;
+      paper_rule_improved += data.y[i];
+    }
+  }
+
+  print_paper_checks({
+      {"learned RTT-reduction threshold (paper: 10.5%)", 0.105, rtt_thr},
+      {"learned loss-reduction threshold (paper: 12.1%)", 0.121, loss_thr},
+      {"learned rule confidence ('high likelihood')", 0.9, rule.confidence},
+      {"paper's exact rule applied here: P(improved)", 0.9,
+       paper_rule_n ? static_cast<double>(paper_rule_improved) / paper_rule_n : 0.0},
+  });
+  std::printf("note: our synthetic Internet rewards any simultaneous\n"
+              "RTT+loss non-worsening, so the learned thresholds sit near 0%%\n"
+              "rather than the paper's 10.5%%/12.1%%; the paper's rule itself\n"
+              "holds with the probability shown above (n=%d).\n\n",
+              paper_rule_n);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// §I / §VII-D: cost comparison between a CRONets deployment (rented cloud
+// VMs relaying traffic) and private leased lines of comparable capacity.
+// Paper: the overlay costs about a tenth of a comparable private line, and
+// the intro cites up to a hundredth for long-haul MPLS.
+
+#include "bench_util.h"
+#include "core/cost.h"
+
+using namespace cronets;
+using namespace cronets::bench;
+
+int main() {
+  core::CloudPricing cloud;
+  core::LeasedLinePricing line;
+
+  print_header("Cost model (Sec. VII-D)", "CRONets vs private leased lines");
+  std::printf("%-44s %12s\n", "configuration", "USD/month");
+
+  std::vector<PaperCheck> checks;
+  const double volumes_gb[] = {1000, 5000, 10000, 20000};
+  for (double gb : volumes_gb) {
+    const auto c = core::cronets_monthly_cost(cloud, 2, gb, 100);
+    std::printf("%-44s %12.0f\n", c.description.c_str(), c.monthly_usd);
+  }
+  const auto c1g = core::cronets_monthly_cost(cloud, 2, 20000, 1000);
+  std::printf("%-44s %12.0f\n", c1g.description.c_str(), c1g.monthly_usd);
+  const auto cbare = core::cronets_monthly_cost(cloud, 2, 20000, 100, true);
+  std::printf("%-44s %12.0f\n", cbare.description.c_str(), cbare.monthly_usd);
+
+  std::printf("\n");
+  const auto dom = core::leased_line_monthly_cost(line, 100, false);
+  const auto intl = core::leased_line_monthly_cost(line, 100, true);
+  std::printf("%-44s %12.0f\n", dom.description.c_str(), dom.monthly_usd);
+  std::printf("%-44s %12.0f\n", intl.description.c_str(), intl.monthly_usd);
+
+  const auto typical = core::cronets_monthly_cost(cloud, 2, 5000, 100);
+  checks.push_back({"domestic leased line / CRONets cost ratio", 10.0,
+                    dom.monthly_usd / typical.monthly_usd});
+  checks.push_back({"intercontinental line / CRONets cost ratio", 25.0,
+                    intl.monthly_usd / typical.monthly_usd});
+  print_paper_checks(checks);
+  return 0;
+}

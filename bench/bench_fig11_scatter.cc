@@ -1,0 +1,44 @@
+// Figure 11 (§V-B): scatter of throughput increase ratio
+// (T_overlay - T_direct) / T_direct against the direct path's throughput.
+// Paper: direct paths under 10 Mbps almost always improve, usually by more
+// than 2x (increase ratio > 1); fast direct paths see little improvement.
+
+#include "analysis/stats.h"
+#include "bench_util.h"
+#include "wkld/experiments.h"
+
+using namespace cronets;
+using namespace cronets::bench;
+
+int main() {
+  wkld::World world(world_seed());
+  const auto exp = wkld::run_controlled_experiment(world);
+
+  print_header("Figure 11", "throughput increase ratio vs direct throughput");
+  std::printf("%14s %16s\n", "direct (Mbps)", "increase ratio");
+  int slow_n = 0, slow_improved = 0, slow_doubled = 0;
+  int fast_n = 0, fast_doubled = 0;
+  for (const auto& s : exp.samples) {
+    if (s.direct_bps <= 0) continue;
+    const double increase = (s.best_split_bps() - s.direct_bps) / s.direct_bps;
+    std::printf("%14.2f %16.2f\n", s.direct_bps / 1e6, increase);
+    if (s.direct_bps < 10e6) {
+      ++slow_n;
+      slow_improved += increase > 0;
+      slow_doubled += increase > 1.0;
+    } else if (s.direct_bps > 40e6) {
+      ++fast_n;
+      fast_doubled += increase > 1.0;
+    }
+  }
+
+  print_paper_checks({
+      {"direct < 10 Mbps: fraction improved (paper ~all)", 0.95,
+       slow_n ? static_cast<double>(slow_improved) / slow_n : 0.0},
+      {"direct < 10 Mbps: fraction more than doubled", 0.60,
+       slow_n ? static_cast<double>(slow_doubled) / slow_n : 0.0},
+      {"direct > 40 Mbps: fraction more than doubled (small)", 0.10,
+       fast_n ? static_cast<double>(fast_doubled) / fast_n : 0.0},
+  });
+  return 0;
+}

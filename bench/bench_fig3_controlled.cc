@@ -1,0 +1,80 @@
+// Figure 3 (§III-B): CDFs of throughput improvement ratios for plain
+// overlay, split-overlay and discrete overlay over the direct path, in the
+// controlled-sender experiment (5 DC VMs as senders, 50 PlanetLab-like
+// clients, remaining 4 DCs as overlay nodes; 250 measurements / 1,250
+// observed paths).
+//
+// Paper reference points:
+//   plain overlay:  45% of pairs improved, average factor 6.53
+//   split overlay:  74% improved, average 9.26, median 1.66,
+//                   59% with >= 25% improvement
+//   discrete:       76% improved (upper bound), average 8.14, median 1.74
+
+#include "bench_util.h"
+#include "wkld/experiments.h"
+
+using namespace cronets;
+using namespace cronets::bench;
+
+int main() {
+  wkld::World world(world_seed());
+  const auto exp = wkld::run_controlled_experiment(world);
+
+  analysis::Cdf plain_ratio, split_ratio, discrete_ratio;
+  double plain_improved = 0, split_improved = 0, discrete_improved = 0;
+  double split_25 = 0;
+  double plain_factor_sum = 0, split_factor_sum = 0, discrete_factor_sum = 0;
+  int n = 0;
+
+  for (const auto& s : exp.samples) {
+    if (s.direct_bps <= 0) continue;
+    ++n;
+    const double rp = s.best_plain_bps() / s.direct_bps;
+    const double rs = s.best_split_bps() / s.direct_bps;
+    const double rd = s.best_discrete_bps() / s.direct_bps;
+    plain_ratio.add(rp);
+    split_ratio.add(rs);
+    discrete_ratio.add(rd);
+    plain_improved += rp > 1.0;
+    split_improved += rs > 1.0;
+    discrete_improved += rd > 1.0;
+    split_25 += rs >= 1.25;
+    plain_factor_sum += rp;
+    split_factor_sum += rs;
+    discrete_factor_sum += rd;
+  }
+
+  print_header("Figure 3", "throughput improvement ratios, controlled senders");
+  std::printf("measurements: %d (paths observed: %d)\n\n", n, n * 5);
+  print_cdf_log(plain_ratio, "overlay (cloud provider)", 1e-3, 1e3);
+  print_cdf_log(split_ratio, "split-overlay (cloud provider)", 1e-3, 1e3);
+  print_cdf_log(discrete_ratio, "discrete overlay (cloud provider)", 1e-3, 1e3);
+
+  // The paper overlays the web-experiment ("Internet" sender) curves for
+  // comparison, showing that a cloud-hosted sender introduces no bias.
+  {
+    wkld::World web_world(world_seed());
+    const auto web = wkld::run_web_experiment(web_world, 40);  // subsample
+    analysis::Cdf web_plain, web_split;
+    for (const auto& s : web.samples) {
+      if (s.direct_bps <= 0) continue;
+      web_plain.add(s.best_plain_bps() / s.direct_bps);
+      web_split.add(s.best_split_bps() / s.direct_bps);
+    }
+    print_cdf_log(web_plain, "overlay (Internet sender)", 1e-3, 1e3);
+    print_cdf_log(web_split, "split-overlay (Internet sender)", 1e-3, 1e3);
+  }
+
+  print_paper_checks({
+      {"plain: fraction improved (ratio > 1)", 0.45, plain_improved / n},
+      {"plain: average improvement factor", 6.53, plain_factor_sum / n},
+      {"split: fraction improved", 0.74, split_improved / n},
+      {"split: average improvement factor", 9.26, split_factor_sum / n},
+      {"split: median improvement factor", 1.66, split_ratio.median()},
+      {"split: fraction with >=25% improvement", 0.59, split_25 / n},
+      {"discrete: fraction improved", 0.76, discrete_improved / n},
+      {"discrete: average improvement factor", 8.14, discrete_factor_sum / n},
+      {"discrete: median improvement factor", 1.74, discrete_ratio.median()},
+  });
+  return 0;
+}

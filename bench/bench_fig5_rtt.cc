@@ -1,0 +1,43 @@
+// Figure 5 (§III-B.2): CDF of (minimum average RTT across the four tunnel
+// overlay paths) / (average RTT of the direct path). Paper: the overlay
+// reduces the RTT for 52% of pairs; for direct paths with RTT >= 100 ms it
+// reduces 68% of them, and 90% of those >= 150 ms.
+
+#include "bench_util.h"
+#include "wkld/experiments.h"
+
+using namespace cronets;
+using namespace cronets::bench;
+
+int main() {
+  wkld::World world(world_seed());
+  const auto exp = wkld::run_controlled_experiment(world);
+
+  analysis::Cdf ratio;
+  int n100 = 0, n100_reduced = 0;
+  int n150 = 0, n150_reduced = 0;
+  for (const auto& s : exp.samples) {
+    const double r = s.min_overlay_rtt_ms() / s.direct_rtt_ms;
+    ratio.add(r);
+    if (s.direct_rtt_ms >= 100) {
+      ++n100;
+      n100_reduced += r < 1.0;
+    }
+    if (s.direct_rtt_ms >= 150) {
+      ++n150;
+      n150_reduced += r < 1.0;
+    }
+  }
+
+  print_header("Figure 5", "overlay RTT / direct RTT");
+  print_cdf_log(ratio, "min tunnel avg RTT / direct avg RTT", 0.2, 10.0);
+
+  print_paper_checks({
+      {"fraction of pairs with RTT reduced", 0.52, ratio.fraction_leq(1.0)},
+      {"RTT reduced | direct RTT >= 100 ms", 0.68,
+       n100 ? static_cast<double>(n100_reduced) / n100 : 0.0},
+      {"RTT reduced | direct RTT >= 150 ms", 0.90,
+       n150 ? static_cast<double>(n150_reduced) / n150 : 0.0},
+  });
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 6 (§IV): longitudinal study. The 30 pairs with the highest
+// split-overlay improvement at ranking time are re-measured 50 times at
+// 3-hour intervals over a week; for each path index we report the average
+// direct throughput and the average per-sample best split-overlay
+// throughput, with standard deviations (the paper's error bars).
+//
+// Paper: 90% of the 30 paths keep a significant improvement over the week
+// (average improvement ratio 8.39, median 7.58); the top-ranked paths
+// 1/2/4 — which shared a destination hit by a transient event during the
+// ranking — have recovered and sit near the throughput ceiling, so the
+// overlay cannot improve them further.
+
+#include "analysis/stats.h"
+#include "bench_util.h"
+#include "wkld/experiments.h"
+
+using namespace cronets;
+using namespace cronets::bench;
+
+int main() {
+  wkld::World world(world_seed());
+  const auto pipeline = wkld::run_longitudinal_pipeline(world);
+  const auto& study = pipeline.study;
+
+  print_header("Figure 6", "direct vs max split-overlay throughput, 30 paths / 1 week");
+  std::printf("(transient ranking event on client endpoint %d, cleared before the week)\n\n",
+              pipeline.event_victim);
+  std::printf("%5s %26s %30s %8s\n", "path", "direct avg +- std (Mbps)",
+              "max split-overlay avg +- std", "ratio");
+
+  int improved = 0;
+  std::vector<double> ratios;
+  int recovered_in_top4 = 0;
+  for (std::size_t i = 0; i < study.pairs.size(); ++i) {
+    const auto& p = study.pairs[i];
+    analysis::Cdf direct, best;
+    for (double v : p.history.direct) direct.add(v / 1e6);
+    for (double v : p.best_split_series) best.add(v / 1e6);
+    const double ratio = best.mean() / std::max(1e-9, direct.mean());
+    ratios.push_back(ratio);
+    if (ratio > 1.25) ++improved;
+    // "Recovered": the transient that earned this rank is gone — the weekly
+    // ratio is an order of magnitude below the ranking-time improvement.
+    if (i < 4 && ratio < p.ranking_improvement / 10.0) ++recovered_in_top4;
+    std::printf("%5zu %12.2f +- %-10.2f %14.2f +- %-12.2f %8.2f (ranked at %.0fx)\n",
+                i + 1, direct.mean(), direct.stdev(), best.mean(), best.stdev(),
+                ratio, p.ranking_improvement);
+  }
+
+  analysis::Cdf rc;
+  rc.add_all(ratios);
+  print_paper_checks({
+      {"fraction of 30 paths still clearly improved", 0.90,
+       static_cast<double>(improved) / static_cast<double>(ratios.size())},
+      {"average improvement ratio over the week", 8.39, rc.mean()},
+      {"median improvement ratio over the week", 7.58, rc.median()},
+      {"top-4 paths that recovered (paper: 3 of 4)", 3.0,
+       static_cast<double>(recovered_in_top4)},
+  });
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 8 (§V-A): CDFs of the diversity score (1 - common routers /
+// routers on direct path) of every overlay path, overall and grouped by
+// throughput-improvement bucket. The traceroute comes from the same
+// policy-routed topology the measurements ran over.
+//
+// Paper: 60% of overlay paths score >= 0.38, 25% score >= 0.55; higher
+// improvement buckets have higher diversity; and 87% of the routers shared
+// with the direct path sit in its end segments (13% in the middle third).
+
+#include "analysis/traceroute.h"
+#include "bench_util.h"
+#include "wkld/experiments.h"
+
+using namespace cronets;
+using namespace cronets::bench;
+
+int main() {
+  wkld::World world(world_seed());
+  const auto exp = wkld::run_controlled_experiment(world);
+
+  analysis::Cdf all, hi, mid, low, verylow;
+  long common_end = 0, common_middle = 0;
+
+  for (const auto& s : exp.samples) {
+    const auto direct =
+        analysis::interface_hops(world.internet().path(s.src, s.dst));
+    for (const auto& o : s.overlays) {
+      auto leg1 =
+          analysis::interface_hops(world.internet().path(s.src, o.overlay_ep));
+      const auto leg2 =
+          analysis::interface_hops(world.internet().path(o.overlay_ep, s.dst));
+      leg1.insert(leg1.end(), leg2.begin(), leg2.end());
+      const double score = analysis::diversity_score(direct, leg1);
+      const auto loc = analysis::common_router_location(direct, leg1);
+      common_end += loc.common_end;
+      common_middle += loc.common_middle;
+
+      all.add(score);
+      const double ratio = s.direct_bps > 0 ? o.split_bps / s.direct_bps : 0.0;
+      if (ratio > 1.25) {
+        hi.add(score);
+      } else if (ratio > 1.0) {
+        mid.add(score);
+      } else if (ratio > 0.5) {
+        low.add(score);
+      } else {
+        verylow.add(score);
+      }
+    }
+  }
+
+  print_header("Figure 8", "diversity score CDFs by improvement bucket");
+  auto print_lin = [](const analysis::Cdf& c, const char* name) {
+    std::printf("-- CDF: %s (n=%zu)\n%8s %8s\n", name, c.size(), "score", "CDF");
+    for (int i = 0; i <= 20; ++i) {
+      const double x = i / 20.0;
+      std::printf("%8.2f %8.3f\n", x, c.fraction_leq(x));
+    }
+  };
+  print_lin(all, "all overlays");
+  print_lin(hi, "improvement ratio > 1.25");
+  print_lin(mid, "1.0 < ratio <= 1.25");
+  print_lin(low, "0.5 < ratio <= 1.0");
+  print_lin(verylow, "ratio <= 0.5");
+
+  const double total_common = static_cast<double>(common_end + common_middle);
+  print_paper_checks({
+      {"fraction of overlay paths with score >= 0.38", 0.60, all.fraction_geq(0.38)},
+      {"fraction of overlay paths with score >= 0.55", 0.25, all.fraction_geq(0.55)},
+      {"score >= 0.4 | ratio > 1.25", 0.70, hi.fraction_geq(0.4)},
+      {"score >= 0.4 | 1 < ratio <= 1.25", 0.64, mid.fraction_geq(0.4)},
+      {"score >= 0.4 | 0.5 < ratio <= 1", 0.56, low.fraction_geq(0.4)},
+      {"score >= 0.4 | ratio <= 0.5", 0.45, verylow.fraction_geq(0.4)},
+      {"common routers in end segments", 0.87,
+       total_common > 0 ? common_end / total_common : 0.0},
+      {"common routers in middle segment", 0.13,
+       total_common > 0 ? common_middle / total_common : 0.0},
+  });
+  return 0;
+}

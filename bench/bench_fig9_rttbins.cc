@@ -1,0 +1,59 @@
+// Figure 9 (§V-B): direct paths binned by RTT ([0,70), [70,140), [140,210),
+// [210,280), [280,inf) ms); per bin, the median throughput-improvement
+// ratio (bar height), the median absolute deviation (error bar) and the
+// fraction of paths improved (the pink shade). Paper: >= 84% of paths with
+// RTT >= 140 ms improve; the median ratio more than doubles beyond 140 ms
+// and more than triples beyond 280 ms.
+
+#include "analysis/stats.h"
+#include "bench_util.h"
+#include "wkld/experiments.h"
+
+using namespace cronets;
+using namespace cronets::bench;
+
+int main() {
+  wkld::World world(world_seed());
+  const auto exp = wkld::run_controlled_experiment(world);
+
+  std::vector<double> rtts, ratios;
+  for (const auto& s : exp.samples) {
+    rtts.push_back(s.direct_rtt_ms);
+    ratios.push_back(s.direct_bps > 0 ? s.best_split_bps() / s.direct_bps : 0.0);
+  }
+  const std::vector<double> edges = {0, 70, 140, 210, 280};
+  const auto binned = analysis::bin_by(rtts, ratios, edges);
+
+  print_header("Figure 9", "median improvement ratio by direct-path RTT bin");
+  std::printf("%14s %8s %12s %8s %12s\n", "RTT bin (ms)", "paths", "median", "MAD",
+              "frac>1");
+  double over140_improved = 0, over140_n = 0;
+  double med_140_210 = 0, med_280 = 0, med_0_70 = 0;
+  for (std::size_t b = 0; b < binned.bins.size(); ++b) {
+    const auto& vals = binned.bins[b];
+    if (vals.empty()) continue;
+    double improved = 0;
+    for (double v : vals) improved += v > 1.0;
+    const double med = analysis::median_of(vals);
+    const double mad = analysis::median_abs_deviation(vals);
+    const char* label[] = {"[0,70)", "[70,140)", "[140,210)", "[210,280)", "[280,+)"};
+    std::printf("%14s %8zu %12.2f %8.2f %12.2f\n", label[b], vals.size(), med, mad,
+                improved / static_cast<double>(vals.size()));
+    if (b >= 2) {
+      over140_improved += improved;
+      over140_n += static_cast<double>(vals.size());
+    }
+    if (b == 0) med_0_70 = med;
+    if (b == 2) med_140_210 = med;
+    if (b == 4) med_280 = med;
+  }
+
+  print_paper_checks({
+      {"fraction improved | RTT >= 140 ms", 0.84,
+       over140_n > 0 ? over140_improved / over140_n : 0.0},
+      {"median ratio in [140,210) (paper: > 2)", 2.0, med_140_210},
+      {"median ratio in [280,inf) (paper: > 3)", 3.0, med_280},
+      {"median ratio in [0,70) (paper: lowest bin ~1)", 1.0, med_0_70},
+  });
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Engine microbenchmarks (google-benchmark): event queue throughput,
+// end-to-end TCP simulation speed, topology generation and policy routing.
+
+#include <benchmark/benchmark.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "topo/internet.h"
+#include "transport/apps.h"
+
+using namespace cronets;
+
+static void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simv;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simv.schedule_in(sim::Time::microseconds(i), [&] { ++fired; });
+    }
+    simv.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void BM_TcpBulkTransferSimSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simv;
+    net::Network netw(&simv, sim::Rng{7});
+    auto* a = netw.add_host("A");
+    auto* b = netw.add_host("B");
+    auto* r = netw.add_router("R");
+    net::LinkSpec acc, bot;
+    acc.capacity_bps = 1e9;
+    acc.prop_delay = sim::Time::milliseconds(1);
+    bot.capacity_bps = 100e6;
+    bot.prop_delay = sim::Time::milliseconds(10);
+    netw.add_link(a, r, acc);
+    netw.add_link(r, b, bot);
+    netw.compute_routes();
+    transport::TcpConfig cfg;
+    transport::BulkSink sink(b, 5001, cfg);
+    transport::BulkSource src(a, 1234, b->addr(), 5001, cfg);
+    src.start();
+    simv.run_until(sim::Time::seconds(1));
+    benchmark::DoNotOptimize(sink.bytes_received());
+  }
+}
+BENCHMARK(BM_TcpBulkTransferSimSecond)->Unit(benchmark::kMillisecond);
+
+static void BM_TopologyGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    topo::TopologyParams p;
+    p.seed = seed++;
+    topo::Internet net(p, topo::CloudParams{});
+    benchmark::DoNotOptimize(net.links().size());
+  }
+}
+BENCHMARK(BM_TopologyGeneration)->Unit(benchmark::kMillisecond);
+
+static void BM_PolicyRoutingPerDestination(benchmark::State& state) {
+  topo::TopologyParams p;
+  p.seed = 3;
+  topo::Internet net(p, topo::CloudParams{});
+  int dst = 0;
+  for (auto _ : state) {
+    net.routing().invalidate();
+    benchmark::DoNotOptimize(net.routing().to(dst % static_cast<int>(net.ases().size())));
+    ++dst;
+  }
+}
+BENCHMARK(BM_PolicyRoutingPerDestination)->Unit(benchmark::kMicrosecond);
+
+static void BM_RouterPathExpansion(benchmark::State& state) {
+  topo::TopologyParams p;
+  p.seed = 3;
+  topo::Internet net(p, topo::CloudParams{});
+  const int c = net.add_client(topo::Region::kEurope, "c");
+  const int s = net.add_server(topo::Region::kNaEast, "s");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.path(c, s).routers.size());
+  }
+}
+BENCHMARK(BM_RouterPathExpansion)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

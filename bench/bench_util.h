@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "wkld/world.h"
+
+namespace cronets::bench {
+
+/// Seed shared by every figure bench so the same generated Internet
+/// underlies the whole evaluation (override with CRONETS_SEED).
+inline std::uint64_t world_seed() {
+  if (const char* s = std::getenv("CRONETS_SEED")) {
+    return static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+  }
+  return 42;
+}
+
+/// Set CRONETS_QUICK=1 to shrink the slow (packet-level) benches.
+inline bool quick_mode() {
+  const char* q = std::getenv("CRONETS_QUICK");
+  return q && q[0] == '1';
+}
+
+inline void print_header(const char* fig, const char* title) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", fig, title);
+  std::printf("==================================================================\n");
+}
+
+/// Print a CDF as (x, F(x)) rows on a log-spaced grid, like the paper's
+/// log-x CDF figures.
+inline void print_cdf_log(const analysis::Cdf& cdf, const char* name, double lo,
+                          double hi, int points = 25) {
+  std::printf("-- CDF: %s (n=%zu)\n", name, cdf.size());
+  std::printf("%12s %8s\n", "x", "CDF");
+  for (int i = 0; i <= points; ++i) {
+    const double x = lo * std::pow(hi / lo, static_cast<double>(i) / points);
+    std::printf("%12.4g %8.3f\n", x, cdf.fraction_leq(x));
+  }
+}
+
+struct PaperCheck {
+  std::string metric;
+  double paper;
+  double measured;
+};
+
+/// Print the paper-vs-measured summary block every bench ends with; these
+/// rows are what EXPERIMENTS.md records.
+inline void print_paper_checks(const std::vector<PaperCheck>& checks) {
+  std::printf("\n-- paper vs measured --------------------------------------------\n");
+  std::printf("%-52s %10s %10s\n", "metric", "paper", "measured");
+  for (const auto& c : checks) {
+    std::printf("%-52s %10.3f %10.3f\n", c.metric.c_str(), c.paper, c.measured);
+  }
+  std::printf("\n");
+}
+
+}  // namespace cronets::bench

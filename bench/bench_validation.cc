@@ -1,0 +1,76 @@
+// Methodology validation: the analytic flow model (used for the paper-scale
+// sweeps) against the packet-level stack, on real topology paths. For a
+// sample of endpoint pairs we measure direct and split-overlay throughput
+// both ways and report the per-pair ratio. This is the bench-form of the
+// calibration property tests (tests/property_test.cc).
+//
+// CRONETS_QUICK=1 shrinks the sample.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/measure_packet.h"
+#include "wkld/experiments.h"
+
+using namespace cronets;
+using namespace cronets::bench;
+
+int main() {
+  wkld::World world(world_seed());
+  auto& net = world.internet();
+  const auto overlays = world.rent_paper_overlays();
+
+  // A spread of pairs: each DC paired with one client per region.
+  std::vector<std::pair<int, int>> pairs;
+  const topo::Region regions[] = {topo::Region::kEurope, topo::Region::kAsia,
+                                  topo::Region::kNaWest, topo::Region::kAustralia};
+  int i = 0;
+  for (int dc : overlays) {
+    const int c = net.add_client(regions[i % 4], "val-" + std::to_string(i));
+    ++i;
+    pairs.push_back({dc, c});
+  }
+  const int n = quick_mode() ? 2 : static_cast<int>(pairs.size());
+  const sim::Time dur = quick_mode() ? sim::Time::seconds(8) : sim::Time::seconds(15);
+  const sim::Time at = sim::Time::hours(1);
+
+  print_header("Validation", "analytic flow model vs packet-level stack");
+  std::printf("%6s %14s %14s %9s %14s %14s %9s\n", "pair", "model direct",
+              "packet direct", "ratio", "model split", "packet split", "ratio");
+
+  core::PacketLab lab(&net);
+  analysis::Cdf ratios;
+  for (int p = 0; p < n; ++p) {
+    const auto [src, dst] = pairs[static_cast<std::size_t>(p)];
+    const auto sample = world.meter().measure(src, dst, overlays, at);
+    const auto packet_direct = lab.run_direct(src, dst, dur, at);
+    const int best = sample.best_split_overlay_ep();
+    const auto packet_split = lab.run_split(src, dst, best, dur, at);
+
+    const double r1 = sample.direct_bps / std::max(1.0, packet_direct.goodput_bps);
+    const double r2 =
+        sample.best_split_bps() / std::max(1.0, packet_split.goodput_bps);
+    ratios.add(r1);
+    ratios.add(r2);
+    std::printf("%6d %13.2fM %13.2fM %9.2f %13.2fM %13.2fM %9.2f\n", p + 1,
+                sample.direct_bps / 1e6, packet_direct.goodput_bps / 1e6, r1,
+                sample.best_split_bps() / 1e6, packet_split.goodput_bps / 1e6, r2);
+  }
+
+  // Geometric-mean bias and spread of model/packet ratios.
+  double log_sum = 0;
+  for (double v : ratios.sorted_values()) log_sum += std::log(v);
+  const double gmean = std::exp(log_sum / static_cast<double>(ratios.size()));
+
+  print_paper_checks({
+      {"geometric mean of model/packet ratios (~1)", 1.0, gmean},
+      {"fraction of ratios within [0.5, 2]", 0.9,
+       ratios.fraction_leq(2.0) - ratios.fraction_leq(0.5)},
+  });
+  std::printf(
+      "note: the model runs a calibrated steady-state formula, so it is\n"
+      "optimistic on long-RTT lossy paths where the 2015-era stack RTO-\n"
+      "stalls. The bias applies to direct and overlay paths alike and\n"
+      "largely cancels in the improvement *ratios* every figure reports.\n\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Remote-worker VPN (the paper's second motivating scenario): a remote
+// user keeps an MPTCP session to headquarters with one subflow on the
+// direct path and one per overlay node. Mid-session, a transit link on the
+// default path fails outright — possibly taking an overlay leg that shared
+// the same ISP down with it. The session must keep delivering: stranded
+// in-flight data is reinjected on the surviving subflows, transparently to
+// the application.
+//
+// This example drives the packet-level stack directly (no PacketLab) to
+// show the lower-level API: materializer, tunnels, MPTCP endpoints.
+
+#include <cstdio>
+#include <set>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "topo/materialize.h"
+#include "transport/mptcp.h"
+#include "tunnel/tunnel.h"
+#include "wkld/world.h"
+
+using namespace cronets;
+
+int main() {
+  wkld::World world(19);
+  auto& net = world.internet();
+
+  const int worker = net.add_client(topo::Region::kEurope, "remote-worker");
+  const int hq = net.add_client(topo::Region::kNaEast, "hq-gateway");
+  const std::vector<int> vias = {net.dc_endpoint("ams"), net.dc_endpoint("wdc"),
+                                 net.dc_endpoint("lon")};
+
+  // Materialize the slice of the Internet this session touches.
+  sim::Simulator simv;
+  net::Network packet_net(&simv, sim::Rng{3});
+  topo::Materializer mat(&net, &packet_net);
+  mat.add_pair(worker, hq);
+  for (int via : vias) {
+    mat.add_pair(worker, via);
+    mat.add_pair(via, hq);
+  }
+  // One alias address of HQ per overlay path (MPTCP ADD_ADDR steering).
+  std::vector<net::IpAddr> remote_addrs = {mat.host(hq)->addr()};
+  for (std::size_t i = 0; i < vias.size(); ++i) {
+    const net::IpAddr alias{0x0b000000u + static_cast<std::uint32_t>(i) + 1};
+    mat.add_alias_path(alias, vias[static_cast<std::size_t>(i)], hq);
+    remote_addrs.push_back(alias);
+  }
+
+  // Tunnel client on the worker's laptop; overlay datapaths on the VMs.
+  tunnel::TunnelClient tc(mat.host(worker));
+  std::vector<std::unique_ptr<tunnel::OverlayDatapath>> datapaths;
+  for (std::size_t i = 0; i < vias.size(); ++i) {
+    tc.add_tunnel_route(remote_addrs[i + 1], mat.host(vias[i])->addr(),
+                        tunnel::TunnelMode::kIpsec);  // VPN => IPsec
+    datapaths.push_back(std::make_unique<tunnel::OverlayDatapath>(mat.host(vias[i])));
+  }
+
+  // VPN session: worker streams to HQ over MPTCP (OLIA).
+  transport::TcpConfig cfg;
+  cfg.max_consecutive_rtos = 3;  // fast failure detection for the VPN
+  cfg.rto_initial = sim::Time::milliseconds(300);
+  transport::MptcpListener hq_endpoint(mat.host(hq), 4500, cfg);
+  transport::MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  mcfg.coupling = transport::Coupling::kOlia;
+  transport::MptcpConnection session(mat.host(worker), 20000, remote_addrs, 4500,
+                                     mcfg);
+  session.set_infinite_source(true);
+  session.connect();
+
+  // Fail the direct path at t=10s: kill a transit link that no overlay leg
+  // shares, so only the direct subflow dies (the interesting failover case).
+  const topo::RouterPath direct = net.path(worker, hq);
+  std::set<int> overlay_links;
+  for (int via : vias) {
+    // Forward data legs and the reverse (ACK) legs — routing is asymmetric.
+    for (int a : {worker, hq}) {
+      for (const auto& t : net.path(a, via).traversals) overlay_links.insert(t.link_id);
+      for (const auto& t : net.path(via, a).traversals) overlay_links.insert(t.link_id);
+    }
+  }
+  int victim_link = direct.traversals[direct.traversals.size() / 2].link_id;
+  for (const auto& t : direct.traversals) {
+    if (!overlay_links.count(t.link_id)) {
+      victim_link = t.link_id;  // keep the last disjoint one (mid-path-ish)
+    }
+  }
+  simv.schedule_at(sim::Time::seconds(10), [&, victim_link] {
+    mat.link(victim_link, true)->set_down(true);
+    mat.link(victim_link, false)->set_down(true);
+    std::printf("t=10s   !! direct path transit link failed\n");
+  });
+
+  std::printf("remote worker VPN over MPTCP: 1 direct + %zu overlay subflows\n\n",
+              vias.size());
+  std::uint64_t last = 0;
+  for (int t = 2; t <= 30; t += 2) {
+    simv.run_until(sim::Time::seconds(t));
+    const std::uint64_t now_bytes = hq_endpoint.bytes_delivered();
+    std::printf("t=%02ds   delivered %7.1f MB  (+%5.1f Mbps)   subflows alive: %zu\n",
+                t, now_bytes / 1e6, (now_bytes - last) * 8.0 / 2e6,
+                session.alive_subflows());
+    last = now_bytes;
+  }
+
+  std::printf("\n=> the session survived the path failure: %zu of %zu subflows "
+              "remain, stream delivered contiguously throughout.\n",
+              session.alive_subflows(), vias.size() + 1);
+  return session.alive_subflows() > 0 ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// Topology report: summarize the generated Internet (AS tiers, regions,
+// link-condition classes, cloud peering) and optionally emit the AS graph
+// as Graphviz dot for visualization.
+//
+//   ./topology_report [seed]          # human-readable summary
+//   ./topology_report [seed] --dot    # dot graph on stdout
+//
+//   ./topology_report 42 --dot | dot -Tsvg > world.svg
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "wkld/world.h"
+
+using namespace cronets;
+
+static const char* tier_name(topo::Tier t) {
+  switch (t) {
+    case topo::Tier::kTier1: return "tier1";
+    case topo::Tier::kTier2: return "tier2";
+    case topo::Tier::kStub: return "stub";
+    case topo::Tier::kCloudDc: return "cloud-dc";
+  }
+  return "?";
+}
+
+static void emit_dot(const topo::Internet& net) {
+  std::printf("graph cronets_world {\n  overlap=false;\n  splines=true;\n");
+  for (const auto& as : net.ases()) {
+    const char* color = "gray70";
+    const char* shape = "ellipse";
+    switch (as.tier) {
+      case topo::Tier::kTier1: color = "tomato"; shape = "doublecircle"; break;
+      case topo::Tier::kTier2: color = "orange"; break;
+      case topo::Tier::kStub: color = "lightblue"; break;
+      case topo::Tier::kCloudDc: color = "palegreen"; shape = "box"; break;
+    }
+    std::printf("  as%d [label=\"%s\", style=filled, fillcolor=%s, shape=%s];\n",
+                as.id, as.name.c_str(), color, shape);
+  }
+  for (const auto& as : net.ases()) {
+    for (const auto& adj : as.adj) {
+      if (adj.nbr_as < as.id) continue;  // each edge once
+      const char* style =
+          adj.rel == topo::Rel::kPeerWith ? "dashed" : "solid";
+      std::printf("  as%d -- as%d [style=%s];\n", as.id, adj.nbr_as, style);
+    }
+  }
+  std::printf("}\n");
+}
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const bool dot = argc > 2 && std::strcmp(argv[2], "--dot") == 0;
+  wkld::World world(seed);
+  auto& net = world.internet();
+
+  if (dot) {
+    emit_dot(net);
+    return 0;
+  }
+
+  std::printf("CRONets world (seed %llu)\n\n",
+              static_cast<unsigned long long>(seed));
+
+  // --- AS census ---------------------------------------------------------
+  std::map<topo::Tier, int> by_tier;
+  std::map<topo::Region, int> by_region;
+  for (const auto& as : net.ases()) {
+    ++by_tier[as.tier];
+    ++by_region[as.region];
+  }
+  std::printf("autonomous systems: %zu   routers: %zu   links: %zu\n",
+              net.ases().size(), net.routers().size(), net.links().size());
+  for (auto [tier, n] : by_tier) std::printf("  %-9s %4d\n", tier_name(tier), n);
+  std::printf("by region:\n");
+  for (auto [region, n] : by_region) {
+    std::printf("  %-14s %4d\n", topo::region_name(region), n);
+  }
+
+  // --- Link-condition census ----------------------------------------------
+  int hot = 0, warm = 0, cool = 0, core_n = 0;
+  for (const auto& l : net.links()) {
+    if (!l.is_core) continue;
+    ++core_n;
+    const double u = l.bg_fwd.mean_util;
+    if (u >= 0.72) ++hot;
+    else if (u >= 0.5) ++warm;
+    else ++cool;
+  }
+  std::printf("\ncore links: %d  (hot>=0.72: %d, warm: %d, cool: %d)\n", core_n,
+              hot, warm, cool);
+
+  // --- Cloud provider ------------------------------------------------------
+  std::printf("\ncloud data centers:\n");
+  for (std::size_t i = 0; i < net.cloud().dcs.size(); ++i) {
+    const auto& dc = net.cloud().dcs[i];
+    const int ep = net.dc_endpoints()[i];
+    const auto& as = net.ases()[net.endpoint(ep).as_id];
+    int transit = 0, peering = 0;
+    for (const auto& adj : as.adj) {
+      (adj.rel == topo::Rel::kCustomerOf ? transit : peering) += 1;
+    }
+    std::printf("  %-4s (%.1f, %.1f)  transit x%d, peering x%d\n",
+                dc.name.c_str(), dc.pos.lat, dc.pos.lon, transit, peering);
+  }
+
+  // --- A sample path -------------------------------------------------------
+  const int a = net.add_client(topo::Region::kEurope, "probe-a");
+  const int b = net.add_client(topo::Region::kAsia, "probe-b");
+  const auto path = net.path(a, b);
+  std::printf("\nsample policy path (probe-a -> probe-b, %.0f ms base RTT):\n  ",
+              net.base_rtt_ms(path));
+  for (int as : path.as_seq) std::printf("%s ", net.ases()[as].name.c_str());
+  std::printf("\n");
+  return 0;
+}

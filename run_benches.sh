@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerate every paper figure/table + ablations. CRONETS_QUICK=1 shrinks
+# the packet-level runs.
+set -u
+cd "$(dirname "$0")"
+mkdir -p bench_results
+for b in build/bench/bench_*; do
+  name=$(basename "$b")
+  [ "$name" = bench_micro ] && continue
+  echo "== $name =="
+  "$b" | tee "bench_results/${name#bench_}.txt"
+done
+build/bench/bench_micro --benchmark_min_time=0.2 | tee bench_results/micro.txt

@@ -1,0 +1,232 @@
+#include "analysis/c45.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace cronets::analysis {
+
+namespace {
+
+double entropy(int pos, int n) {
+  if (n == 0 || pos == 0 || pos == n) return 0.0;
+  const double p = static_cast<double>(pos) / n;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+/// C4.5's pessimistic upper bound on the error rate of a leaf with n
+/// samples and e errors (normal approximation to the binomial upper
+/// confidence limit).
+double error_upper_bound(double n, double e, double z) {
+  if (n <= 0.0) return 1.0;
+  const double f = e / n;
+  const double z2 = z * z;
+  const double num = f + z2 / (2 * n) +
+                     z * std::sqrt(std::max(0.0, f / n - f * f / n + z2 / (4 * n * n)));
+  return std::min(1.0, num / (1.0 + z2 / n));
+}
+
+}  // namespace
+
+void C45Tree::train(const Dataset& data, Options opt) {
+  assert(data.x.size() == data.y.size());
+  assert(!data.x.empty());
+  data_ = &data;
+  opt_ = opt;
+  feature_names_ = data.feature_names;
+
+  std::vector<int> idx(data.x.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  root_ = build(idx, 0);
+  if (opt_.prune) prune(root_.get());
+  data_ = nullptr;
+}
+
+std::unique_ptr<C45Tree::Node> C45Tree::build(const std::vector<int>& idx, int depth) {
+  auto node = std::make_unique<Node>();
+  node->n = static_cast<int>(idx.size());
+  for (int i : idx) node->npos += (*data_).y[static_cast<std::size_t>(i)];
+  node->klass = node->npos * 2 >= node->n ? 1 : 0;
+
+  const double base_h = entropy(node->npos, node->n);
+  if (node->npos == 0 || node->npos == node->n ||
+      node->n < 2 * opt_.min_leaf || depth >= opt_.max_depth) {
+    return node;
+  }
+
+  // Best gain-ratio continuous split across all features.
+  const std::size_t nf = (*data_).x[0].size();
+  double best_ratio = opt_.min_gain_ratio;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, int>> vals(idx.size());  // (value, label)
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      const int i = idx[k];
+      vals[k] = {(*data_).x[static_cast<std::size_t>(i)][f],
+                 (*data_).y[static_cast<std::size_t>(i)]};
+    }
+    std::sort(vals.begin(), vals.end());
+
+    int left_n = 0, left_pos = 0;
+    const int total_pos = node->npos;
+    for (std::size_t k = 0; k + 1 < vals.size(); ++k) {
+      left_n += 1;
+      left_pos += vals[k].second;
+      if (vals[k].first == vals[k + 1].first) continue;  // no boundary here
+      const int right_n = node->n - left_n;
+      if (left_n < opt_.min_leaf || right_n < opt_.min_leaf) continue;
+      const int right_pos = total_pos - left_pos;
+      const double pl = static_cast<double>(left_n) / node->n;
+      const double gain = base_h - pl * entropy(left_pos, left_n) -
+                          (1.0 - pl) * entropy(right_pos, right_n);
+      const double split_info = entropy(left_n, node->n);  // binary split info
+      if (split_info <= 1e-9) continue;
+      const double ratio = gain / split_info;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_feature = static_cast<int>(f);
+        best_threshold = (vals[k].first + vals[k + 1].first) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return node;
+
+  std::vector<int> le_idx, gt_idx;
+  for (int i : idx) {
+    if ((*data_).x[static_cast<std::size_t>(i)][static_cast<std::size_t>(best_feature)] <=
+        best_threshold) {
+      le_idx.push_back(i);
+    } else {
+      gt_idx.push_back(i);
+    }
+  }
+  if (le_idx.empty() || gt_idx.empty()) return node;
+
+  node->leaf = false;
+  node->feature = best_feature;
+  node->threshold = best_threshold;
+  node->le = build(le_idx, depth + 1);
+  node->gt = build(gt_idx, depth + 1);
+  return node;
+}
+
+double C45Tree::prune(Node* node) {
+  const double leaf_errors =
+      node->n *
+      error_upper_bound(node->n, std::min(node->npos, node->n - node->npos),
+                        opt_.pruning_z);
+  if (node->leaf) return leaf_errors;
+
+  const double subtree_errors = prune(node->le.get()) + prune(node->gt.get());
+  if (leaf_errors <= subtree_errors + 0.1) {
+    node->leaf = true;
+    node->le.reset();
+    node->gt.reset();
+    return leaf_errors;
+  }
+  return subtree_errors;
+}
+
+int C45Tree::predict(const std::vector<double>& features) const {
+  assert(root_);
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = features[static_cast<std::size_t>(n->feature)] <= n->threshold ? n->le.get()
+                                                                       : n->gt.get();
+  }
+  return n->klass;
+}
+
+double C45Tree::predict_confidence(const std::vector<double>& features) const {
+  assert(root_);
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = features[static_cast<std::size_t>(n->feature)] <= n->threshold ? n->le.get()
+                                                                       : n->gt.get();
+  }
+  return n->n ? static_cast<double>(n->npos) / n->n : 0.0;
+}
+
+void C45Tree::collect_rules(const Node* node, std::vector<Condition>& path,
+                            std::vector<Rule>& out, int min_support) const {
+  if (node->leaf) {
+    if (node->klass == 1 && node->n >= min_support) {
+      Rule r;
+      r.conditions = path;
+      r.support = node->n;
+      r.confidence = node->n ? static_cast<double>(node->npos) / node->n : 0.0;
+      out.push_back(std::move(r));
+    }
+    return;
+  }
+  path.push_back(Condition{node->feature, false, node->threshold});
+  collect_rules(node->le.get(), path, out, min_support);
+  path.back().greater = true;
+  collect_rules(node->gt.get(), path, out, min_support);
+  path.pop_back();
+}
+
+std::vector<C45Tree::Rule> C45Tree::positive_rules(int min_support) const {
+  std::vector<Rule> out;
+  if (!root_) return out;
+  std::vector<Condition> path;
+  collect_rules(root_.get(), path, out, min_support);
+  return out;
+}
+
+C45Tree::Rule C45Tree::best_positive_rule(int min_support) const {
+  Rule best;
+  for (const Rule& r : positive_rules(min_support)) {
+    if (r.confidence > best.confidence ||
+        (r.confidence == best.confidence && r.support > best.support)) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+void C45Tree::dump_node(const Node* node, int depth, std::string& out) const {
+  char buf[160];
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  if (node->leaf) {
+    std::snprintf(buf, sizeof(buf), "%sclass=%d (%d/%d)\n", indent.c_str(),
+                  node->klass, node->npos, node->n);
+    out += buf;
+    return;
+  }
+  const char* fname = node->feature < static_cast<int>(feature_names_.size())
+                          ? feature_names_[static_cast<std::size_t>(node->feature)].c_str()
+                          : "f?";
+  std::snprintf(buf, sizeof(buf), "%s%s <= %.4f ?\n", indent.c_str(), fname,
+                node->threshold);
+  out += buf;
+  dump_node(node->le.get(), depth + 1, out);
+  dump_node(node->gt.get(), depth + 1, out);
+}
+
+std::string C45Tree::dump() const {
+  std::string out;
+  if (root_) dump_node(root_.get(), 0, out);
+  return out;
+}
+
+int C45Tree::node_count() const {
+  if (!root_) return 0;
+  int count = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    ++count;
+    if (!n->leaf) {
+      stack.push_back(n->le.get());
+      stack.push_back(n->gt.get());
+    }
+  }
+  return count;
+}
+
+}  // namespace cronets::analysis

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cronets::analysis {
+
+/// Training data for the classifier: continuous features, binary labels.
+struct Dataset {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> x;  ///< x[i][f]
+  std::vector<int> y;                  ///< 0/1
+};
+
+/// A C4.5-style decision-tree learner (Quinlan): gain-ratio splits on
+/// continuous attributes, minimum-leaf stopping, and pessimistic
+/// (confidence-bound) subtree pruning. The paper (§V-B) uses C4.5 to find
+/// the RTT/loss reduction thresholds beyond which an overlay path is very
+/// likely to improve throughput; bench_c45_thresholds reproduces that
+/// analysis with this implementation.
+class C45Tree {
+ public:
+  struct Options {
+    int min_leaf = 8;
+    int max_depth = 12;
+    double min_gain_ratio = 1e-3;
+    bool prune = true;
+    double pruning_z = 0.69;  ///< normal quantile for CF=0.25 (C4.5 default)
+  };
+
+  /// One decision on the path to a leaf: feature `greater` than threshold
+  /// (or <= when greater == false).
+  struct Condition {
+    int feature = -1;
+    bool greater = false;
+    double threshold = 0.0;
+  };
+
+  /// A positive-class rule extracted from the tree.
+  struct Rule {
+    std::vector<Condition> conditions;
+    int support = 0;        ///< training samples reaching the leaf
+    double confidence = 0;  ///< positive fraction at the leaf
+  };
+
+  void train(const Dataset& data, Options opt);
+  void train(const Dataset& data) { train(data, Options()); }
+
+  int predict(const std::vector<double>& features) const;
+  /// Fraction of positive training samples in the leaf `features` lands in.
+  double predict_confidence(const std::vector<double>& features) const;
+
+  /// All rules whose leaf predicts the positive class.
+  std::vector<Rule> positive_rules(int min_support = 1) const;
+  /// The positive rule with the highest confidence (ties: larger support).
+  Rule best_positive_rule(int min_support = 1) const;
+
+  std::string dump() const;
+  int node_count() const;
+  bool trained() const { return root_ != nullptr; }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int klass = 0;
+    int n = 0;       // samples
+    int npos = 0;    // positive samples
+    int feature = -1;
+    double threshold = 0.0;
+    std::unique_ptr<Node> le;  // feature <= threshold
+    std::unique_ptr<Node> gt;  // feature > threshold
+  };
+
+  std::unique_ptr<Node> build(const std::vector<int>& idx, int depth);
+  double prune(Node* node);  // returns estimated errors; collapses subtrees
+  void collect_rules(const Node* node, std::vector<Condition>& path,
+                     std::vector<Rule>& out, int min_support) const;
+  void dump_node(const Node* node, int depth, std::string& out) const;
+
+  const Dataset* data_ = nullptr;  // valid during train() only
+  Options opt_;
+  std::vector<std::string> feature_names_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace cronets::analysis

@@ -1,0 +1,48 @@
+#include "analysis/stats.h"
+
+namespace cronets::analysis {
+
+double median_of(std::vector<double> v) {
+  assert(!v.empty());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                     v.end());
+    m = (m + v[mid - 1]) / 2.0;
+  }
+  return m;
+}
+
+double median_abs_deviation(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = median_of(v);
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (double x : v) dev.push_back(std::abs(x - m));
+  return median_of(dev);
+}
+
+Binned bin_by(const std::vector<double>& keys, const std::vector<double>& values,
+              const std::vector<double>& edges) {
+  assert(keys.size() == values.size());
+  assert(!edges.empty());
+  Binned out;
+  out.bins.resize(edges.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const double k = keys[i];
+    if (k < edges.front()) continue;
+    std::size_t bin = edges.size() - 1;
+    for (std::size_t e = 0; e + 1 < edges.size(); ++e) {
+      if (k >= edges[e] && k < edges[e + 1]) {
+        bin = e;
+        break;
+      }
+    }
+    out.bins[bin].push_back(values[i]);
+  }
+  return out;
+}
+
+}  // namespace cronets::analysis

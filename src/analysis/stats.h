@@ -1,0 +1,111 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cronets::analysis {
+
+/// Accumulates samples and answers distribution queries (the paper reports
+/// everything as CDFs, medians and means).
+class Cdf {
+ public:
+  void add(double v) {
+    values_.push_back(v);
+    sorted_ = false;
+  }
+  void add_all(const std::vector<double>& vs) {
+    values_.insert(values_.end(), vs.begin(), vs.end());
+    sorted_ = false;
+  }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double quantile(double q) const {
+    assert(!values_.empty());
+    sort();
+    const double pos = q * static_cast<double>(values_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+  double median() const { return quantile(0.5); }
+  double min() const {
+    sort();
+    return values_.front();
+  }
+  double max() const {
+    sort();
+    return values_.back();
+  }
+  double mean() const {
+    assert(!values_.empty());
+    double s = 0.0;
+    for (double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+  double stdev() const {
+    if (values_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double v : values_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(values_.size() - 1));
+  }
+
+  /// Fraction of samples <= x (the CDF value at x).
+  double fraction_leq(double x) const {
+    if (values_.empty()) return 0.0;
+    sort();
+    auto it = std::upper_bound(values_.begin(), values_.end(), x);
+    return static_cast<double>(it - values_.begin()) /
+           static_cast<double>(values_.size());
+  }
+  double fraction_gt(double x) const { return 1.0 - fraction_leq(x); }
+  double fraction_geq(double x) const {
+    if (values_.empty()) return 0.0;
+    sort();
+    auto it = std::lower_bound(values_.begin(), values_.end(), x);
+    return static_cast<double>(values_.end() - it) /
+           static_cast<double>(values_.size());
+  }
+
+  const std::vector<double>& sorted_values() const {
+    sort();
+    return values_;
+  }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Median of a vector (by copy; convenience for binned summaries).
+double median_of(std::vector<double> v);
+/// Median absolute deviation (the error bars of Figures 9/10).
+double median_abs_deviation(const std::vector<double>& v);
+
+/// Fixed-edge binning: values go to the bin whose [edge[i], edge[i+1])
+/// contains them; the last bin is open-ended.
+struct Binned {
+  std::vector<std::vector<double>> bins;
+  std::vector<std::size_t> counts() const {
+    std::vector<std::size_t> c;
+    for (const auto& b : bins) c.push_back(b.size());
+    return c;
+  }
+};
+Binned bin_by(const std::vector<double>& keys, const std::vector<double>& values,
+              const std::vector<double>& edges);
+
+}  // namespace cronets::analysis

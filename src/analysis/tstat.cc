@@ -1,0 +1,63 @@
+#include "analysis/tstat.h"
+
+namespace cronets::analysis {
+
+std::uint64_t Tstat::flow_key(const net::Packet& pkt, bool outgoing) {
+  const auto& seg = pkt.tcp();
+  // Canonical key: (local addr/port, remote addr/port) of the monitored
+  // host, independent of packet direction.
+  const std::uint32_t local = outgoing ? pkt.inner().src.value() : pkt.inner().dst.value();
+  const std::uint32_t remote = outgoing ? pkt.inner().dst.value() : pkt.inner().src.value();
+  const std::uint16_t lport = outgoing ? seg.sport : seg.dport;
+  const std::uint16_t rport = outgoing ? seg.dport : seg.sport;
+  return (static_cast<std::uint64_t>(local ^ (remote << 1)) << 32) |
+         (static_cast<std::uint64_t>(lport) << 16) | rport;
+}
+
+void Tstat::attach(net::Host* host) {
+  host->set_tap([this, host](const net::Packet& pkt, net::Host::TapDir dir) {
+    observe(pkt, dir, host->simulator()->now());
+  });
+}
+
+void Tstat::observe(const net::Packet& pkt, net::Host::TapDir dir, sim::Time now) {
+  if (!pkt.is_tcp()) return;
+  const auto& seg = pkt.tcp();
+  const std::uint64_t key = flow_key(pkt, dir == net::Host::TapDir::kOut);
+  FlowStats& fs = flows_[key];
+  FlowTrack& tr = track_[key];
+
+  if (dir == net::Host::TapDir::kOut && seg.payload > 0) {
+    fs.bytes_sent += static_cast<std::uint64_t>(seg.payload);
+    ++fs.segments;
+    const std::uint64_t end = seg.seq + static_cast<std::uint64_t>(seg.payload);
+    if (seg.seq < tr.high_seq) {
+      fs.bytes_retransmitted += static_cast<std::uint64_t>(seg.payload);
+    } else {
+      // Only first transmissions contribute RTT samples (Karn's rule).
+      tr.inflight[end] = now;
+    }
+    tr.high_seq = std::max(tr.high_seq, end);
+  } else if (dir == net::Host::TapDir::kIn && seg.has_ack) {
+    auto it = tr.inflight.begin();
+    while (it != tr.inflight.end() && it->first <= seg.ack) {
+      fs.rtt_sum_ms += (now - it->second).to_milliseconds();
+      ++fs.rtt_samples;
+      it = tr.inflight.erase(it);
+    }
+  }
+}
+
+Tstat::FlowStats Tstat::totals() const {
+  FlowStats t;
+  for (const auto& [k, fs] : flows_) {
+    t.bytes_sent += fs.bytes_sent;
+    t.bytes_retransmitted += fs.bytes_retransmitted;
+    t.segments += fs.segments;
+    t.rtt_sum_ms += fs.rtt_sum_ms;
+    t.rtt_samples += fs.rtt_samples;
+  }
+  return t;
+}
+
+}  // namespace cronets::analysis

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "net/host.h"
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace cronets::analysis {
+
+/// Passive TCP-flow analyzer in the spirit of tstat [Mellia]: attach it as
+/// a host tap (pcap-style) and it derives, per flow, the retransmission
+/// rate (retransmitted payload bytes / total payload bytes sent, the
+/// paper's §III-B.1 loss proxy) and the average RTT measured as the time
+/// between a data segment leaving and the ACK covering it arriving
+/// (§III-B.2), all without touching the TCP implementation's own counters.
+class Tstat {
+ public:
+  struct FlowStats {
+    std::uint64_t bytes_sent = 0;          // payload bytes, incl. retx
+    std::uint64_t bytes_retransmitted = 0;
+    std::uint64_t segments = 0;
+    double rtt_sum_ms = 0.0;
+    std::uint64_t rtt_samples = 0;
+
+    double retransmission_rate() const {
+      return bytes_sent ? static_cast<double>(bytes_retransmitted) /
+                              static_cast<double>(bytes_sent)
+                        : 0.0;
+    }
+    double avg_rtt_ms() const {
+      return rtt_samples ? rtt_sum_ms / static_cast<double>(rtt_samples) : 0.0;
+    }
+  };
+
+  /// Install on a host; observes that host's outgoing data and incoming ACKs.
+  void attach(net::Host* host);
+
+  /// Feed one packet manually (direction as seen by the monitored host).
+  void observe(const net::Packet& pkt, net::Host::TapDir dir, sim::Time now);
+
+  /// Aggregate over all monitored flows.
+  FlowStats totals() const;
+  const std::map<std::uint64_t, FlowStats>& flows() const { return flows_; }
+
+ private:
+  struct FlowTrack {
+    std::uint64_t high_seq = 0;                 // retransmission watermark
+    std::map<std::uint64_t, sim::Time> inflight;  // seq_end -> send time
+  };
+  static std::uint64_t flow_key(const net::Packet& pkt, bool outgoing);
+
+  std::map<std::uint64_t, FlowStats> flows_;
+  std::map<std::uint64_t, FlowTrack> track_;
+};
+
+}  // namespace cronets::analysis

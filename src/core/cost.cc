@@ -1,0 +1,51 @@
+#include "core/cost.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cronets::core {
+
+CostBreakdown cronets_monthly_cost(const CloudPricing& p, int num_overlays,
+                                   double monthly_traffic_gb, int port_mbps,
+                                   bool bare_metal) {
+  double per_node = bare_metal ? p.bare_metal_monthly_usd : p.vm_monthly_usd;
+  if (port_mbps >= 10000) {
+    per_node += p.port_10g_upcharge_usd;
+  } else if (port_mbps >= 1000) {
+    per_node += p.port_1g_upcharge_usd;
+  }
+
+  // Traffic: relayed traffic leaves each overlay node once (ingress free).
+  double egress_cost;
+  const double overage_gb = std::max(0.0, monthly_traffic_gb - p.included_gb);
+  egress_cost = overage_gb * p.per_gb_overage_usd;
+  // Past the break-even, the unmetered option is cheaper.
+  if (port_mbps <= 100 && egress_cost > p.unlimited_100m_upcharge_usd) {
+    egress_cost = p.unlimited_100m_upcharge_usd;
+  }
+
+  CostBreakdown out;
+  out.monthly_usd = num_overlays * (per_node + egress_cost);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%d %s node(s) @ %d Mbps, %.0f GB/mo relayed", num_overlays,
+                bare_metal ? "bare-metal" : "virtual", port_mbps,
+                monthly_traffic_gb);
+  out.description = buf;
+  return out;
+}
+
+CostBreakdown leased_line_monthly_cost(const LeasedLinePricing& p, double mbps,
+                                       bool intercontinental) {
+  CostBreakdown out;
+  const double transport = mbps * p.per_mbps_monthly_usd *
+                           (intercontinental ? p.intercontinental_multiplier : 1.0);
+  out.monthly_usd = transport + 2.0 * p.local_loop_monthly_usd;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.0f Mbps private line (%s)", mbps,
+                intercontinental ? "intercontinental" : "domestic");
+  out.description = buf;
+  return out;
+}
+
+}  // namespace cronets::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cronets::core {
+
+/// Cloud pricing, modelled on 2015-era IBM Softlayer virtual servers
+/// (§I: "about $20 per month" for a 100 Mbps VM; §VII-D's option grid).
+struct CloudPricing {
+  double vm_monthly_usd = 25.0;          ///< 1 core / 4 GB / 100 Mbps virtual server
+  double bare_metal_monthly_usd = 159.0; ///< entry bare-metal alternative
+  double port_1g_upcharge_usd = 100.0;
+  double port_10g_upcharge_usd = 600.0;
+  double included_gb = 250.0;            ///< monthly outbound allowance
+  double per_gb_overage_usd = 0.09;
+  double unlimited_100m_upcharge_usd = 200.0;  ///< unmetered bandwidth option
+};
+
+/// Private leased-line pricing (MPLS-style): dominated by a steep per-Mbps
+/// monthly charge plus distance-dependent local loops [Gottlieb'12].
+struct LeasedLinePricing {
+  double per_mbps_monthly_usd = 45.0;  ///< typical 2015 MPLS port+transport
+  double local_loop_monthly_usd = 600.0;
+  double intercontinental_multiplier = 2.5;
+};
+
+struct CostBreakdown {
+  double monthly_usd = 0.0;
+  std::string description;
+};
+
+/// Monthly cost of a CRONets deployment: `num_overlays` rented VMs relaying
+/// `monthly_traffic_gb` of traffic at `port_mbps` (100/1000/10000).
+CostBreakdown cronets_monthly_cost(const CloudPricing& p, int num_overlays,
+                                   double monthly_traffic_gb, int port_mbps,
+                                   bool bare_metal = false);
+
+/// Monthly cost of a leased line of `mbps` capacity between two sites
+/// (`intercontinental` doubles-plus the transport charge).
+CostBreakdown leased_line_monthly_cost(const LeasedLinePricing& p, double mbps,
+                                       bool intercontinental);
+
+}  // namespace cronets::core

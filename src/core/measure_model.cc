@@ -1,0 +1,87 @@
+#include "core/measure_model.h"
+
+#include <algorithm>
+
+namespace cronets::core {
+
+double PairSample::best_plain_bps() const {
+  double best = 0.0;
+  for (const auto& o : overlays) best = std::max(best, o.plain_bps);
+  return best;
+}
+
+double PairSample::best_split_bps() const {
+  double best = 0.0;
+  for (const auto& o : overlays) best = std::max(best, o.split_bps);
+  return best;
+}
+
+double PairSample::best_discrete_bps() const {
+  double best = 0.0;
+  for (const auto& o : overlays) best = std::max(best, o.discrete_bps);
+  return best;
+}
+
+double PairSample::min_overlay_rtt_ms() const {
+  double best = 1e18;
+  for (const auto& o : overlays) best = std::min(best, o.rtt_ms);
+  return best;
+}
+
+double PairSample::min_overlay_loss() const {
+  double best = 1.0;
+  for (const auto& o : overlays) best = std::min(best, o.loss);
+  return best;
+}
+
+int PairSample::best_split_overlay_ep() const {
+  int ep = -1;
+  double best = -1.0;
+  for (const auto& o : overlays) {
+    if (o.split_bps > best) {
+      best = o.split_bps;
+      ep = o.overlay_ep;
+    }
+  }
+  return ep;
+}
+
+PairSample ModelMeasurement::measure(int src_ep, int dst_ep,
+                                     const std::vector<int>& overlay_eps,
+                                     sim::Time t) {
+  PairSample out;
+  out.src = src_ep;
+  out.dst = dst_ep;
+
+  const topo::RouterPath direct = topo_->path(src_ep, dst_ep);
+  model::PathMetrics dm = flow_->sample(direct, t);
+  dm.rwnd_bytes = static_cast<double>(topo_->endpoint(dst_ep).rcv_buf);
+  out.direct_bps = flow_->tcp_throughput(dm);
+  out.direct_rtt_ms = dm.rtt_ms;
+  out.direct_loss = dm.loss;
+  out.direct_hops = dm.hop_count;
+
+  for (int o : overlay_eps) {
+    if (o == src_ep || o == dst_ep) continue;
+    const topo::RouterPath leg1 = topo_->path(src_ep, o);
+    const topo::RouterPath leg2 = topo_->path(o, dst_ep);
+    model::PathMetrics m1 = flow_->sample(leg1, t);
+    model::PathMetrics m2 = flow_->sample(leg2, t);
+    // Split-TCP legs terminate at their own receivers: the overlay VM for
+    // leg 1, the final destination for leg 2.
+    m1.rwnd_bytes = static_cast<double>(topo_->endpoint(o).rcv_buf);
+    m2.rwnd_bytes = static_cast<double>(topo_->endpoint(dst_ep).rcv_buf);
+    OverlaySample s;
+    s.overlay_ep = o;
+    s.plain_bps = flow_->overlay_plain(m1, m2);
+    s.split_bps = flow_->overlay_split(m1, m2);
+    s.discrete_bps = flow_->discrete(m1, m2);
+    const model::PathMetrics combined = model::FlowModel::concat(m1, m2);
+    s.rtt_ms = combined.rtt_ms;
+    s.loss = combined.loss;
+    out.overlays.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace cronets::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "core/overlay.h"
+#include "model/flow_model.h"
+#include "topo/internet.h"
+
+namespace cronets::core {
+
+/// One overlay node's view of an endpoint pair at a sample time.
+struct OverlaySample {
+  int overlay_ep = -1;
+  double plain_bps = 0.0;
+  double split_bps = 0.0;
+  double discrete_bps = 0.0;
+  double rtt_ms = 0.0;   ///< end-to-end RTT through the overlay
+  double loss = 0.0;     ///< end-to-end loss through the overlay
+};
+
+/// Full measurement of one endpoint pair against a set of overlay nodes.
+struct PairSample {
+  int src = -1;
+  int dst = -1;
+  double direct_bps = 0.0;
+  double direct_rtt_ms = 0.0;
+  double direct_loss = 0.0;
+  int direct_hops = 0;
+  std::vector<OverlaySample> overlays;
+
+  double best_plain_bps() const;
+  double best_split_bps() const;
+  double best_discrete_bps() const;
+  double min_overlay_rtt_ms() const;
+  double min_overlay_loss() const;
+  int best_split_overlay_ep() const;
+};
+
+/// Analytic measurement runner: the instrument used for the paper-scale
+/// sweeps (6,600 paths x several path types). All throughputs come from
+/// the calibrated flow model over the same generated Internet the packet
+/// simulator uses.
+class ModelMeasurement {
+ public:
+  ModelMeasurement(topo::Internet* topo, model::FlowModel* flow)
+      : topo_(topo), flow_(flow) {}
+
+  /// Measure (src,dst) against every overlay node at simulated time `t`.
+  PairSample measure(int src_ep, int dst_ep, const std::vector<int>& overlay_eps,
+                     sim::Time t);
+
+ private:
+  topo::Internet* topo_;
+  model::FlowModel* flow_;
+};
+
+}  // namespace cronets::core

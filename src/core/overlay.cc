@@ -1,0 +1,15 @@
+#include "core/overlay.h"
+
+#include <cassert>
+
+namespace cronets::core {
+
+OverlayNode OverlayNetwork::rent(const std::string& dc_name,
+                                 tunnel::TunnelMode mode) {
+  const int ep = topo_->dc_endpoint(dc_name);
+  assert(ep >= 0 && "unknown data center");
+  nodes_.push_back(OverlayNode{ep, dc_name, mode});
+  return nodes_.back();
+}
+
+}  // namespace cronets::core

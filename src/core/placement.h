@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "core/measure_model.h"
+#include "sim/time.h"
+
+namespace cronets::core {
+
+/// §VII-A ("Overlay nodes selection", the paper's first future-work item):
+/// which data centers should a customer rent, and how many?
+///
+/// Given a traffic matrix (the endpoint pairs the customer cares about) and
+/// the candidate DCs, choose k overlay nodes maximizing the average
+/// improvement over the direct paths. The objective — the sum over pairs of
+/// max(direct, best split-overlay within the chosen set) — is monotone
+/// submodular in the chosen set, so greedy selection carries the classic
+/// (1 - 1/e) guarantee; an exhaustive baseline is provided for small k.
+class PlacementOptimizer {
+ public:
+  struct Result {
+    std::vector<int> chosen;        ///< endpoint ids of the rented DCs
+    double avg_improvement = 0.0;   ///< mean over pairs of achieved/direct
+    double total_bps = 0.0;         ///< sum over pairs of achieved throughput
+  };
+
+  PlacementOptimizer(topo::Internet* topo, ModelMeasurement* meter)
+      : topo_(topo), meter_(meter) {}
+
+  /// Measure every (pair, candidate) combination once at time `at`;
+  /// subsequent optimization calls reuse the cached matrix.
+  void measure(const std::vector<std::pair<int, int>>& pairs,
+               const std::vector<int>& candidates, sim::Time at);
+
+  /// Greedy submodular maximization: repeatedly add the candidate with the
+  /// best marginal gain.
+  Result greedy(int k) const;
+  /// Exhaustive search over all subsets of size k (candidates <= ~16).
+  Result exhaustive(int k) const;
+  /// Expected value of a uniformly random subset of size k (baseline),
+  /// averaged over `trials` draws.
+  Result random_baseline(int k, int trials, std::uint64_t seed) const;
+
+  std::size_t pair_count() const { return direct_.size(); }
+  const std::vector<int>& candidates() const { return candidates_; }
+
+ private:
+  double value_of(const std::vector<int>& subset_idx, double* avg_improvement) const;
+
+  topo::Internet* topo_;
+  ModelMeasurement* meter_;
+  std::vector<int> candidates_;
+  std::vector<double> direct_;               // per pair
+  std::vector<std::vector<double>> split_;   // [pair][candidate]
+};
+
+}  // namespace cronets::core

@@ -1,0 +1,155 @@
+#include "core/selection.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/rng.h"
+
+namespace cronets::core {
+
+namespace {
+/// Max over a subset mask of overlay throughputs at sample t.
+double subset_max(const PairHistory& h, std::size_t t, unsigned mask) {
+  double best = 0.0;
+  for (std::size_t k = 0; k < h.overlay[t].size(); ++k) {
+    if (mask & (1u << k)) best = std::max(best, h.overlay[t][k]);
+  }
+  return best;
+}
+}  // namespace
+
+int min_overlays_required(const PairHistory& h, double tolerance) {
+  const std::size_t n = h.overlays();
+  assert(n <= 16 && "subset search is exponential in overlay count");
+  if (n == 0) return 0;
+
+  for (int k = 1; k <= static_cast<int>(n); ++k) {
+    // Try every subset of size k.
+    for (unsigned mask = 1; mask < (1u << n); ++mask) {
+      if (__builtin_popcount(mask) != k) continue;
+      bool ok = true;
+      for (std::size_t t = 0; t < h.times() && ok; ++t) {
+        const double all = subset_max(h, t, (1u << n) - 1);
+        const double got = subset_max(h, t, mask);
+        if (got < all * (1.0 - tolerance)) ok = false;
+      }
+      if (ok) return k;
+    }
+  }
+  return static_cast<int>(n);
+}
+
+double best_subset_avg_bps(const PairHistory& h, int k, std::vector<int>* chosen) {
+  const std::size_t n = h.overlays();
+  assert(k >= 1 && k <= static_cast<int>(n));
+  double best_avg = -1.0;
+  unsigned best_mask = 0;
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    if (__builtin_popcount(mask) != k) continue;
+    double sum = 0.0;
+    for (std::size_t t = 0; t < h.times(); ++t) sum += subset_max(h, t, mask);
+    const double avg = sum / static_cast<double>(h.times());
+    if (avg > best_avg) {
+      best_avg = avg;
+      best_mask = mask;
+    }
+  }
+  if (chosen) {
+    chosen->clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (best_mask & (1u << i)) chosen->push_back(static_cast<int>(i));
+    }
+  }
+  return best_avg;
+}
+
+std::vector<double> ProbeSelector::achieved(const PairHistory& h) {
+  std::vector<double> out;
+  out.reserve(h.times());
+  int choice = -1;  // start on the direct path
+  for (std::size_t t = 0; t < h.times(); ++t) {
+    if (t % static_cast<std::size_t>(std::max(1, interval_)) == 0) {
+      // Probe: pick the best path as of this sample.
+      choice = -1;
+      double best = h.direct[t];
+      for (std::size_t k = 0; k < h.overlay[t].size(); ++k) {
+        if (h.overlay[t][k] > best) {
+          best = h.overlay[t][k];
+          choice = static_cast<int>(k);
+        }
+      }
+    }
+    out.push_back(choice < 0 ? h.direct[t]
+                             : h.overlay[t][static_cast<std::size_t>(choice)]);
+  }
+  return out;
+}
+
+std::vector<double> BanditSelector::achieved(const PairHistory& h) {
+  const std::size_t arms = 1 + h.overlays();
+  std::vector<double> sum(arms, 0.0);
+  std::vector<int> count(arms, 0);
+  sim::Rng rng(seed_);
+  std::vector<double> out;
+  out.reserve(h.times());
+
+  auto reward = [&](std::size_t arm, std::size_t t) {
+    return arm == 0 ? h.direct[t] : h.overlay[t][arm - 1];
+  };
+
+  for (std::size_t t = 0; t < h.times(); ++t) {
+    std::size_t arm;
+    if (rng.bernoulli(epsilon_) || t < arms) {
+      arm = t < arms ? t : rng.index(arms);  // initial sweep, then explore
+    } else {
+      arm = 0;
+      double best = -1.0;
+      for (std::size_t a = 0; a < arms; ++a) {
+        const double est = count[a] ? sum[a] / count[a] : 0.0;
+        if (est > best) {
+          best = est;
+          arm = a;
+        }
+      }
+    }
+    const double r = reward(arm, t);
+    sum[arm] += r;
+    ++count[arm];
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<double> min_rtt_achieved(const PairHistory& h) {
+  std::vector<double> out;
+  out.reserve(h.times());
+  for (std::size_t t = 0; t < h.times(); ++t) {
+    if (h.direct_rtt_ms.size() <= t || h.overlay_rtt_ms.size() <= t) {
+      out.push_back(h.direct[t]);
+      continue;
+    }
+    std::size_t pick = 0;  // 0 = direct
+    double best_rtt = h.direct_rtt_ms[t];
+    for (std::size_t a = 0; a < h.overlay_rtt_ms[t].size(); ++a) {
+      if (h.overlay_rtt_ms[t][a] < best_rtt) {
+        best_rtt = h.overlay_rtt_ms[t][a];
+        pick = a + 1;
+      }
+    }
+    out.push_back(pick == 0 ? h.direct[t] : h.overlay[t][pick - 1]);
+  }
+  return out;
+}
+
+std::vector<double> mptcp_achieved(const PairHistory& h, double efficiency) {
+  std::vector<double> out;
+  out.reserve(h.times());
+  for (std::size_t t = 0; t < h.times(); ++t) {
+    double best = h.direct[t];
+    for (double v : h.overlay[t]) best = std::max(best, v);
+    out.push_back(best * efficiency);
+  }
+  return out;
+}
+
+}  // namespace cronets::core

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cronets::core {
+
+/// Throughput samples for one endpoint pair over time:
+/// samples[t][k] = throughput via overlay node k at sample t (bit/s);
+/// direct[t] = throughput of the default path at sample t.
+struct PairHistory {
+  std::vector<double> direct;
+  std::vector<std::vector<double>> overlay;  // [t][overlay index]
+  // Optional RTT views (filled by the longitudinal study; empty otherwise).
+  std::vector<double> direct_rtt_ms;
+  std::vector<std::vector<double>> overlay_rtt_ms;
+
+  std::size_t times() const { return direct.size(); }
+  std::size_t overlays() const { return overlay.empty() ? 0 : overlay[0].size(); }
+};
+
+/// Minimum number of overlay nodes needed so that, at every sample time,
+/// some chosen node achieves the maximum observed overlay throughput
+/// (within `tolerance`, relative). Figure 7's metric.
+int min_overlays_required(const PairHistory& h, double tolerance = 0.01);
+
+/// The best subset of exactly `k` overlay nodes: maximizes the average
+/// over time of max-throughput-within-subset. Returns the subset's average
+/// max throughput (Table I's ingredient). `chosen` (optional) receives the
+/// winning indexes.
+double best_subset_avg_bps(const PairHistory& h, int k,
+                           std::vector<int>* chosen = nullptr);
+
+/// --- Path selection policies (§VI and the probing baseline) -------------
+///
+/// The classic alternative to MPTCP: probe every path periodically and pin
+/// traffic to the path that measured best. Between probes the choice goes
+/// stale — the regret relative to the per-sample best path is the cost the
+/// paper's MPTCP approach eliminates.
+class ProbeSelector {
+ public:
+  /// `probe_interval`: re-probe every n samples (1 = always fresh).
+  explicit ProbeSelector(int probe_interval) : interval_(probe_interval) {}
+
+  /// Returns the throughput actually achieved at each sample, following
+  /// the stale-probing policy over the history (direct path is choice -1,
+  /// overlays 0..k-1). Re-probing costs nothing here; real probing
+  /// overhead is modelled in the ablation bench.
+  std::vector<double> achieved(const PairHistory& h);
+
+ private:
+  int interval_;
+};
+
+/// MPTCP-based selection (§VI-A): no probing; every sample achieves
+/// (approximately) the max across all paths, modulo a small coupling
+/// inefficiency factor.
+std::vector<double> mptcp_achieved(const PairHistory& h, double efficiency = 0.97);
+
+/// Epsilon-greedy bandit: learns the best path purely from its own
+/// throughput observations (arm 0 = direct, arms 1..k = overlays); no
+/// global snapshot, unlike ProbeSelector. A middle ground between blind
+/// pinning and MPTCP.
+class BanditSelector {
+ public:
+  BanditSelector(double epsilon, std::uint64_t seed)
+      : epsilon_(epsilon), seed_(seed) {}
+  std::vector<double> achieved(const PairHistory& h);
+
+ private:
+  double epsilon_;
+  std::uint64_t seed_;
+};
+
+/// Latency-probe selection: pin to the minimum-RTT path each sample. RTT
+/// probes are far cheaper than throughput probes — but RTT is the wrong
+/// metric when loss dominates (the paper's §V shows why). Requires the
+/// history's RTT views; falls back to the direct path where absent.
+std::vector<double> min_rtt_achieved(const PairHistory& h);
+
+}  // namespace cronets::core

@@ -1,0 +1,46 @@
+#pragma once
+
+/// Umbrella header: the CRONets library's public API in one include.
+///
+///   #include "cronets.h"
+///
+///   cronets::wkld::World world(42);
+///   auto& net = world.internet();
+///   ...
+///
+/// Layering (each header can also be included individually):
+///   sim/        discrete-event engine
+///   net/        packet-level links, routers, hosts
+///   topo/       the synthetic Internet + materializer
+///   transport/  TCP, MPTCP, split proxies, apps
+///   tunnel/     GRE/IPsec + NAT overlay datapath
+///   model/      analytic flow model
+///   core/       overlay rental, measurement, selection, placement, cost
+///   analysis/   statistics, tstat, traceroute, C4.5
+///   wkld/       the paper's experiment definitions
+
+#include "analysis/c45.h"
+#include "analysis/stats.h"
+#include "analysis/traceroute.h"
+#include "analysis/tstat.h"
+#include "core/cost.h"
+#include "core/measure_model.h"
+#include "core/measure_packet.h"
+#include "core/overlay.h"
+#include "core/placement.h"
+#include "core/selection.h"
+#include "model/flow_model.h"
+#include "net/network.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "topo/internet.h"
+#include "topo/materialize.h"
+#include "transport/apps.h"
+#include "transport/mptcp.h"
+#include "transport/mptcp_proxy.h"
+#include "transport/split_proxy.h"
+#include "transport/tcp.h"
+#include "tunnel/tunnel.h"
+#include "wkld/experiments.h"
+#include "wkld/world.h"

@@ -1,0 +1,149 @@
+#include "model/flow_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cronets::model {
+
+using sim::Time;
+
+double pftk_throughput_bps(double rtt_ms, double loss, double residual_bps,
+                           double capacity_bps, const TcpModelParams& p) {
+  const double rtt = std::max(rtt_ms / 1e3, 1e-4);
+  double loss_bound_Bps = 1e18;
+  if (loss > 1e-9) {
+    const double bp = p.b * loss;
+    const double t0 = std::max(0.2, 2.0 * rtt);  // RTO estimate
+    const double denom = rtt * std::sqrt(2.0 * bp / 3.0) +
+                         t0 * std::min(1.0, 3.0 * std::sqrt(3.0 * bp / 8.0)) * loss *
+                             (1.0 + 32.0 * loss * loss);
+    loss_bound_Bps = p.aggressiveness * p.mss / denom;
+  }
+  const double wnd_bound_Bps = p.rwnd_bytes / rtt;
+  const double cap_Bps = std::min(residual_bps, capacity_bps) / 8.0;
+  return 8.0 * std::min({loss_bound_Bps, wnd_bound_Bps, cap_Bps});
+}
+
+double FlowModel::utilization(int link_id, bool forward, Time t) {
+  const auto& link = topo_->links()[link_id];
+  const net::BackgroundParams& bg = forward ? link.bg_fwd : link.bg_rev;
+
+  const std::int64_t key = static_cast<std::int64_t>(link_id) * 2 + (forward ? 0 : 1);
+  ArState& st = state_[key];
+
+  // AR(1): u' = u + theta*(mean-u) + N(0,sigma)  per epoch, i.e.
+  // u' = mean + a*(u-mean) + noise with a = 1-theta. Exact bridging over a
+  // gap of d epochs: u_t = mean + a^d (u_0 - mean) + N(0, s2*(1-a^(2d))),
+  // where s2 = sigma^2/(1-a^2) is the stationary variance.
+  const double a = 1.0 - bg.theta;
+  const double s2 = bg.sigma * bg.sigma / std::max(1e-9, 1.0 - a * a);
+  double u;
+  if (!st.init) {
+    u = bg.mean_util + rng_.normal(0.0, std::sqrt(s2));
+    st.init = true;
+  } else {
+    const double gap_epochs =
+        static_cast<double>((t - st.t).ns()) / static_cast<double>(bg.epoch.ns());
+    const double ad = std::pow(a, std::max(0.0, gap_epochs));
+    const double var = s2 * (1.0 - ad * ad);
+    u = bg.mean_util + ad * (st.u - bg.mean_util) +
+        rng_.normal(0.0, std::sqrt(std::max(0.0, var)));
+  }
+  u = std::clamp(u, 0.0, 0.98);
+  st.t = t;
+  st.u = u;
+
+  double out = u + net::diurnal_component(bg, t);
+  for (const auto& ev : topo_->events()) {
+    if (ev.link_id == link_id && ev.forward == forward && t >= ev.from &&
+        t < ev.until) {
+      out += ev.util_boost;
+    }
+  }
+  return std::clamp(out, 0.0, 0.98);
+}
+
+double FlowModel::link_loss(int link_id, bool forward, Time t) {
+  const auto& link = topo_->links()[link_id];
+  const net::BackgroundParams& bg = forward ? link.bg_fwd : link.bg_rev;
+  return net::loss_from_utilization(bg, utilization(link_id, forward, t));
+}
+
+PathMetrics FlowModel::sample(const topo::RouterPath& path, Time t) {
+  PathMetrics m;
+  m.capacity_bps = 1e18;
+  m.residual_bps = 1e18;
+  double survive = 1.0;
+  double oneway_ms = 0.0;
+  for (const auto& trav : path.traversals) {
+    const auto& link = topo_->links()[trav.link_id];
+    const double u = utilization(trav.link_id, trav.forward, t);
+    const net::BackgroundParams& bg = trav.forward ? link.bg_fwd : link.bg_rev;
+    survive *= (1.0 - net::loss_from_utilization(bg, u));
+    oneway_ms += link.delay_ms;
+    // Light cross-traffic queueing (M/M/1-ish, negligible except when hot).
+    const double pkt_ms = 1500.0 * 8.0 / link.capacity_bps * 1e3;
+    oneway_ms += std::min(5.0, u / std::max(0.02, 1.0 - u) * pkt_ms);
+    m.capacity_bps = std::min(m.capacity_bps, link.capacity_bps);
+    m.residual_bps = std::min(m.residual_bps, link.capacity_bps * (1.0 - u));
+  }
+  m.loss = 1.0 - survive;
+  m.rtt_ms = 2.0 * oneway_ms;
+  m.hop_count = static_cast<int>(path.routers.size());
+  return m;
+}
+
+PathMetrics FlowModel::concat(const PathMetrics& a, const PathMetrics& b) {
+  PathMetrics m;
+  m.rtt_ms = a.rtt_ms + b.rtt_ms;
+  m.loss = 1.0 - (1.0 - a.loss) * (1.0 - b.loss);
+  m.residual_bps = std::min(a.residual_bps, b.residual_bps);
+  m.capacity_bps = std::min(a.capacity_bps, b.capacity_bps);
+  m.hop_count = a.hop_count + b.hop_count;
+  m.rwnd_bytes = b.rwnd_bytes > 0 ? b.rwnd_bytes : a.rwnd_bytes;
+  return m;
+}
+
+double FlowModel::tcp_throughput(const PathMetrics& m) {
+  TcpModelParams p = params_;
+  if (m.rwnd_bytes > 0) p.rwnd_bytes = m.rwnd_bytes;
+  double t = pftk_throughput_bps(m.rtt_ms, m.loss, m.residual_bps, m.capacity_bps, p);
+  // When the flow saturates the residual capacity it also builds queue;
+  // throughput clips slightly below the residual rate.
+  const double cap = std::min(m.residual_bps, m.capacity_bps);
+  if (t > 0.92 * cap) t = cap * rng_.uniform(0.88, 0.96);
+  return t * noise();
+}
+
+double FlowModel::overlay_plain(const PathMetrics& leg1, const PathMetrics& leg2) {
+  return tcp_throughput(concat(leg1, leg2));
+}
+
+double FlowModel::overlay_split(const PathMetrics& leg1, const PathMetrics& leg2) {
+  // Each leg runs its own TCP; the proxy relays with ample buffer. A small
+  // efficiency haircut models the proxy's buffer coupling.
+  const double t1 = tcp_throughput(leg1);
+  const double t2 = tcp_throughput(leg2);
+  return 0.97 * std::min(t1, t2);
+}
+
+double FlowModel::discrete(const PathMetrics& leg1, const PathMetrics& leg2) {
+  return std::min(tcp_throughput(leg1), tcp_throughput(leg2));
+}
+
+double FlowModel::mptcp_coupled(const std::vector<double>& per_path_tput) {
+  double best = 0.0;
+  for (double t : per_path_tput) best = std::max(best, t);
+  // OLIA converges to (roughly) the best path; small shortfall/overshoot
+  // from probing the other subflows.
+  return best * rng_.uniform(0.92, 1.04);
+}
+
+double FlowModel::mptcp_uncoupled(const std::vector<double>& per_path_tput,
+                                  double nic_bps) {
+  double sum = 0.0;
+  for (double t : per_path_tput) sum += t;
+  return std::min(sum * rng_.uniform(0.95, 1.0), nic_bps * 0.97);
+}
+
+}  // namespace cronets::model

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "topo/internet.h"
+
+namespace cronets::model {
+
+/// Instantaneous condition of one end-to-end path at a sample time.
+struct PathMetrics {
+  double rtt_ms = 0.0;        ///< average RTT incl. queueing
+  double loss = 0.0;          ///< end-to-end packet loss probability
+  double residual_bps = 0.0;  ///< min residual capacity along the path
+  double capacity_bps = 0.0;  ///< min raw capacity (usually the NIC)
+  int hop_count = 0;          ///< router-level hops
+  /// Receiver window of the connection's sink (0: use TcpModelParams).
+  double rwnd_bytes = 0.0;
+};
+
+/// Steady-state TCP throughput model parameters.
+struct TcpModelParams {
+  double mss = 1460.0;
+  double b = 1.0;              ///< ACKed segments per ACK
+  double rwnd_bytes = 4.0 * 1024 * 1024;
+  /// Multiplier on the loss-based throughput term; calibrated against the
+  /// packet-level CUBIC stack (CUBIC is more aggressive than the Reno that
+  /// PFTK models). See tests/model_calibration_test.cc.
+  double aggressiveness = 1.4;
+  double noise_sigma = 0.08;   ///< lognormal measurement noise
+};
+
+/// PFTK (Padhye et al.) steady-state TCP throughput in bit/s, capped by the
+/// receive window and path capacity. `rtt_ms`/`loss` as in PathMetrics.
+double pftk_throughput_bps(double rtt_ms, double loss, double residual_bps,
+                           double capacity_bps, const TcpModelParams& p);
+
+/// Analytic "measurement instrument": samples per-link utilizations with an
+/// exactly-bridged AR(1) process (the same statistics the packet-level
+/// BackgroundProcess produces), derives path metrics, and predicts TCP /
+/// split-TCP / MPTCP throughput. Used for the paper's large-scale sweeps
+/// (6,600 paths) where packet-level simulation would be prohibitive; its
+/// agreement with the packet simulator is enforced by tests.
+class FlowModel {
+ public:
+  FlowModel(topo::Internet* topo, std::uint64_t seed)
+      : topo_(topo), rng_(seed) {}
+
+  /// Utilization of one link direction at time `t` (AR(1)-bridged, with
+  /// diurnal component and scheduled transient events applied).
+  double utilization(int link_id, bool forward, sim::Time t);
+  /// Loss probability of one link direction at time `t`.
+  double link_loss(int link_id, bool forward, sim::Time t);
+
+  /// Sample the instantaneous metrics of a router path.
+  PathMetrics sample(const topo::RouterPath& path, sim::Time t);
+  /// Metrics of the concatenation A->O->B (one tunnel; RTT and loss add).
+  static PathMetrics concat(const PathMetrics& a, const PathMetrics& b);
+
+  // --- Throughput predictors (bit/s), with measurement noise ---
+  double tcp_throughput(const PathMetrics& m);
+  /// Plain tunnel overlay: a single TCP connection over the whole A->O->B.
+  double overlay_plain(const PathMetrics& leg1, const PathMetrics& leg2);
+  /// Split-TCP at the overlay node: min of the two legs' own TCP rates.
+  double overlay_split(const PathMetrics& leg1, const PathMetrics& leg2);
+  /// Discrete bound: min of independently measured legs (no tunnel cost).
+  double discrete(const PathMetrics& leg1, const PathMetrics& leg2);
+  /// Coupled MPTCP (OLIA/LIA): ~ the best single path.
+  double mptcp_coupled(const std::vector<double>& per_path_tput);
+  /// Uncoupled MPTCP: ~ sum of subflows, capped by the NIC.
+  double mptcp_uncoupled(const std::vector<double>& per_path_tput, double nic_bps);
+
+  const TcpModelParams& params() const { return params_; }
+  TcpModelParams& params() { return params_; }
+
+ private:
+  struct ArState {
+    bool init = false;
+    sim::Time t{};
+    double u = 0.0;
+  };
+
+  double noise() { return std::exp(rng_.normal(0.0, params_.noise_sigma)); }
+
+  topo::Internet* topo_;
+  sim::Rng rng_;
+  TcpModelParams params_;
+  std::unordered_map<std::int64_t, ArState> state_;  // key: link*2 + dir
+};
+
+}  // namespace cronets::model

@@ -1,0 +1,74 @@
+#include "net/host.h"
+
+#include <cassert>
+
+namespace cronets::net {
+
+Link* Host::route(IpAddr dst) const {
+  auto it = routes_.find(dst);
+  if (it != routes_.end()) return it->second;
+  return uplinks_.empty() ? nullptr : uplinks_.front();
+}
+
+void Host::receive(Packet pkt, Link* /*from*/) {
+  if (tap_) tap_(pkt, TapDir::kIn);
+  for (PacketFilter* f : filters_) {
+    if (f->process(pkt, *this) == PacketFilter::Verdict::kConsumed) return;
+  }
+  if (is_local_addr(pkt.outer().dst)) {
+    deliver_local(std::move(pkt));
+    return;
+  }
+  // Not for us and no filter claimed it: hosts do not forward by default.
+}
+
+void Host::deliver_local(Packet&& pkt) {
+  if (pkt.is_icmp()) {
+    const IcmpMessage& m = pkt.icmp();
+    if (m.type == IcmpType::kEchoRequest) {
+      Packet reply;
+      reply.headers.push_back(
+          Ipv4Header{.src = addr_, .dst = pkt.outer().src, .proto = IpProto::kIcmp});
+      IcmpMessage rm;
+      rm.type = IcmpType::kEchoReply;
+      rm.probe_id = m.probe_id;
+      rm.original_ttl = m.original_ttl;
+      reply.body = rm;
+      send(std::move(reply));
+    } else if (icmp_sink_) {
+      icmp_sink_(m, pkt.outer().src);
+    }
+    return;
+  }
+  assert(pkt.is_tcp());
+  auto it = tcp_sinks_.find(pkt.tcp().dport);
+  if (it != tcp_sinks_.end()) {
+    ++delivered_segments_;
+    it->second->on_packet(pkt);
+  }
+  // No listener: a real stack would send RST; we silently drop, which the
+  // sender's RTO handles the same way.
+}
+
+void Host::send(Packet pkt) {
+  assert(!pkt.headers.empty());
+  if (pkt.outer().src == IpAddr{}) pkt.outer().src = addr_;
+  pkt.uid = next_uid_++;
+  if (output_hook_) output_hook_(pkt);
+  if (tap_) tap_(pkt, TapDir::kOut);
+  if (is_local_addr(pkt.outer().dst)) {
+    // Loopback delivery (used in tests); skip the wire entirely.
+    sim_->schedule_in(sim::Time::microseconds(1),
+                      [this, p = std::move(pkt)]() mutable { receive(std::move(p), nullptr); });
+    return;
+  }
+  forward(std::move(pkt));
+}
+
+void Host::forward(Packet pkt) {
+  Link* out = route(pkt.outer().dst);
+  if (!out) return;  // unroutable: drop
+  out->send(std::move(pkt));
+}
+
+}  // namespace cronets::net

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.h"
+#include "net/node.h"
+#include "net/types.h"
+#include "sim/simulator.h"
+
+namespace cronets::net {
+
+class Host;
+
+/// Consumer of TCP segments delivered to a bound local port
+/// (a TCP connection or a listener).
+class SegmentSink {
+ public:
+  virtual ~SegmentSink() = default;
+  virtual void on_packet(const Packet& pkt) = 0;
+};
+
+/// Hook invoked on every packet arriving at a host before local delivery.
+/// Tunnel endpoints and the NAT register themselves here.
+class PacketFilter {
+ public:
+  enum class Verdict { kPass, kConsumed };
+  virtual ~PacketFilter() = default;
+  /// May modify `pkt` in place (decap, address rewrite) and/or re-inject it
+  /// via Host::forward(). Returns kConsumed to stop further processing.
+  virtual Verdict process(Packet& pkt, Host& host) = 0;
+};
+
+/// Sink for ICMP messages addressed to this host (traceroute, ping).
+using IcmpSink = std::function<void(const IcmpMessage&, IpAddr from)>;
+
+/// An end host: owns one address, one or more uplinks, a set of bound
+/// transport ports, and an optional chain of packet filters (tunnels/NAT).
+class Host : public Node {
+ public:
+  Host(sim::Simulator* simv, NodeId id, std::string name, IpAddr addr)
+      : Node(id, std::move(name)), sim_(simv), addr_(addr) {}
+
+  void receive(Packet pkt, Link* from) override;
+
+  /// Originate a packet from this host (fills src if unset).
+  void send(Packet pkt);
+
+  /// Forward an in-flight packet (used by NAT/tunnel filters); does not
+  /// touch the header stack.
+  void forward(Packet pkt);
+
+  void add_uplink(Link* l) { uplinks_.push_back(l); }
+  void add_route(IpAddr dst, Link* next_hop) { routes_[dst] = next_hop; }
+  Link* route(IpAddr dst) const;
+
+  void bind(TransportPort port, SegmentSink* sink) { tcp_sinks_[port] = sink; }
+  void unbind(TransportPort port) { tcp_sinks_.erase(port); }
+
+  void add_filter(PacketFilter* f) { filters_.push_back(f); }
+  void set_icmp_sink(IcmpSink sink) { icmp_sink_ = std::move(sink); }
+
+  /// Additional local addresses (MPTCP ADD_ADDR-style aliases).
+  void add_alias(IpAddr a) { aliases_.push_back(a); }
+  bool is_local_addr(IpAddr a) const {
+    if (a == addr_) return true;
+    for (IpAddr x : aliases_)
+      if (x == a) return true;
+    return false;
+  }
+
+  /// Optional tap observing every packet sent and received by this host
+  /// (pcap-style capture for the tstat-like analyzer).
+  enum class TapDir { kIn, kOut };
+  using Tap = std::function<void(const Packet&, TapDir)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  /// Hook applied to every locally-originated packet before routing; a
+  /// tunnel client uses it to encapsulate traffic bound for tunnelled
+  /// destinations (the GRE/IPsec "tunnel device").
+  using OutputHook = std::function<void(Packet&)>;
+  void set_output_hook(OutputHook h) { output_hook_ = std::move(h); }
+
+  IpAddr addr() const { return addr_; }
+  sim::Simulator* simulator() const { return sim_; }
+  std::uint64_t delivered_segments() const { return delivered_segments_; }
+
+ private:
+  void deliver_local(Packet&& pkt);
+
+  sim::Simulator* sim_;
+  IpAddr addr_;
+  std::vector<Link*> uplinks_;
+  std::unordered_map<IpAddr, Link*> routes_;
+  std::unordered_map<TransportPort, SegmentSink*> tcp_sinks_;
+  std::vector<PacketFilter*> filters_;
+  std::vector<IpAddr> aliases_;
+  Tap tap_;
+  OutputHook output_hook_;
+  IcmpSink icmp_sink_;
+  std::uint64_t delivered_segments_ = 0;
+  std::uint64_t next_uid_ = 1;
+};
+
+}  // namespace cronets::net

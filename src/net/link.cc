@@ -1,0 +1,73 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace cronets::net {
+
+void Link::send(Packet pkt) {
+  if (down_) {
+    ++stats_.random_drops;
+    return;
+  }
+  // Random loss models drops suffered at this hop due to competing
+  // background bursts that our queue does not explicitly contain.
+  if (rng_.bernoulli(bg_.loss_prob(sim_->now()))) {
+    ++stats_.random_drops;
+    return;
+  }
+  const std::int64_t sz = pkt.size_bytes();
+  if (queued_bytes_ + sz > queue_limit_bytes_) {
+    ++stats_.queue_drops;
+    return;
+  }
+  if (qdisc_ == QueueDiscipline::kRed && !red_admits(sz)) {
+    ++stats_.red_drops;
+    return;
+  }
+  queue_.push_back(std::move(pkt));
+  queued_bytes_ += sz;
+  if (!transmitting_) start_transmission();
+}
+
+bool Link::red_admits(std::int64_t pkt_bytes) {
+  (void)pkt_bytes;
+  // EWMA of the instantaneous queue, updated on every arrival.
+  red_avg_bytes_ =
+      (1.0 - red_.weight) * red_avg_bytes_ + red_.weight * static_cast<double>(queued_bytes_);
+  const double min_th = red_.min_th_fraction * static_cast<double>(queue_limit_bytes_);
+  const double max_th = red_.max_th_fraction * static_cast<double>(queue_limit_bytes_);
+  if (red_avg_bytes_ <= min_th) return true;
+  if (red_avg_bytes_ >= max_th) return false;
+  const double p = red_.max_p * (red_avg_bytes_ - min_th) / (max_th - min_th);
+  return !rng_.bernoulli(p);
+}
+
+void Link::start_transmission() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  const Packet& pkt = queue_.front();
+  // Residual rate: background flows consume u(t) of the raw capacity.
+  const double rate = std::max(1e3, available_bps());
+  const sim::Time tx = sim::transmission_time(pkt.size_bytes(), rate);
+  sim_->schedule_in(tx, [this] { finish_transmission(); });
+}
+
+void Link::finish_transmission() {
+  Packet pkt = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= pkt.size_bytes();
+  ++stats_.tx_packets;
+  stats_.tx_bytes += static_cast<std::uint64_t>(pkt.size_bytes());
+
+  // Propagation: deliver to the far end after the flight time.
+  sim_->schedule_in(prop_delay_, [this, p = std::move(pkt)]() mutable {
+    dst_->receive(std::move(p), this);
+  });
+
+  start_transmission();
+}
+
+}  // namespace cronets::net

@@ -1,0 +1,107 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+namespace cronets::net {
+
+Host* Network::add_host(const std::string& name) {
+  auto id = NodeId{static_cast<std::uint32_t>(nodes_.size())};
+  auto host = std::make_unique<Host>(sim_, id, name, IpAddr{next_addr_++});
+  Host* raw = host.get();
+  nodes_.push_back(std::move(host));
+  hosts_.push_back(raw);
+  return raw;
+}
+
+Router* Network::add_router(const std::string& name) {
+  auto id = NodeId{static_cast<std::uint32_t>(nodes_.size())};
+  auto router = std::make_unique<Router>(sim_, id, name, IpAddr{next_addr_++});
+  Router* raw = router.get();
+  nodes_.push_back(std::move(router));
+  return raw;
+}
+
+std::pair<Link*, Link*> Network::add_link(Node* a, Node* b, const LinkSpec& spec) {
+  return add_link(a, b, spec, spec);
+}
+
+std::pair<Link*, Link*> Network::add_link(Node* a, Node* b, const LinkSpec& fwd,
+                                          const LinkSpec& rev) {
+  auto mk = [&](Node* s, Node* d, const LinkSpec& sp) {
+    links_.push_back(std::make_unique<Link>(sim_, s, d, sp.capacity_bps, sp.prop_delay,
+                                            sp.queue_limit_bytes, sp.background,
+                                            rng_.fork()));
+    return links_.back().get();
+  };
+  Link* ab = mk(a, b, fwd);
+  Link* ba = mk(b, a, rev);
+  if (auto* h = dynamic_cast<Host*>(a)) h->add_uplink(ab);
+  if (auto* h = dynamic_cast<Host*>(b)) h->add_uplink(ba);
+  return {ab, ba};
+}
+
+Link* Network::find_link(Node* a, Node* b) const {
+  for (const auto& l : links_) {
+    if (l->src() == a && l->dst() == b) return l.get();
+  }
+  return nullptr;
+}
+
+void Network::install_route(Node* at, IpAddr dst, Link* out) {
+  if (auto* r = dynamic_cast<Router*>(at)) {
+    r->add_route(dst, out);
+  } else if (auto* h = dynamic_cast<Host*>(at)) {
+    h->add_route(dst, out);
+  }
+}
+
+void Network::install_path(const std::vector<Node*>& path, IpAddr dst) {
+  assert(path.size() >= 2);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    Link* hop = find_link(path[i], path[i + 1]);
+    assert(hop && "install_path: adjacent nodes are not linked");
+    install_route(path[i], dst, hop);
+  }
+}
+
+void Network::compute_routes() {
+  // Dijkstra by propagation delay from every node; install the first hop of
+  // the shortest path toward every host address.
+  const std::size_t n = nodes_.size();
+  std::vector<std::vector<Link*>> out(n);
+  for (const auto& l : links_) out[raw(l->src()->id())].push_back(l.get());
+
+  for (const auto& src_node : nodes_) {
+    std::vector<std::int64_t> dist(n, std::numeric_limits<std::int64_t>::max());
+    std::vector<Link*> first_hop(n, nullptr);
+    using QE = std::pair<std::int64_t, std::uint32_t>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    const std::uint32_t s = raw(src_node->id());
+    dist[s] = 0;
+    pq.push({0, s});
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (Link* l : out[u]) {
+        const std::uint32_t v = raw(l->dst()->id());
+        const std::int64_t nd = d + l->prop_delay().ns();
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          first_hop[v] = (u == s) ? l : first_hop[u];
+          pq.push({nd, v});
+        }
+      }
+    }
+    for (Host* h : hosts_) {
+      const std::uint32_t v = raw(h->id());
+      if (h == src_node.get() || !first_hop[v]) continue;
+      install_route(src_node.get(), h->addr(), first_hop[v]);
+    }
+  }
+}
+
+}  // namespace cronets::net

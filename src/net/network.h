@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "net/link.h"
+#include "net/router.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace cronets::net {
+
+/// Properties for one (bidirectional) link.
+struct LinkSpec {
+  double capacity_bps = 1e9;
+  sim::Time prop_delay = sim::Time::milliseconds(1);
+  std::int64_t queue_limit_bytes = 512 * 1024;
+  BackgroundParams background{};
+};
+
+/// Owns a materialized packet-level network: nodes and links, with helpers
+/// to build graphs and install routes. Larger experiments materialize only
+/// the paths they exercise rather than the whole Internet map.
+class Network {
+ public:
+  Network(sim::Simulator* simv, sim::Rng rng) : sim_(simv), rng_(std::move(rng)) {}
+
+  Host* add_host(const std::string& name);
+  Router* add_router(const std::string& name);
+
+  /// Adds links in both directions with identical spec; returns {a->b, b->a}.
+  std::pair<Link*, Link*> add_link(Node* a, Node* b, const LinkSpec& spec);
+  /// Adds links with asymmetric background (e.g. congested only one way).
+  std::pair<Link*, Link*> add_link(Node* a, Node* b, const LinkSpec& forward,
+                                   const LinkSpec& reverse);
+
+  /// Install host routes along an explicit node path for `dst` (forward
+  /// direction) — every node on the path learns the next hop toward dst.
+  void install_path(const std::vector<Node*>& path, IpAddr dst);
+
+  /// Compute shortest-delay routes between all node pairs and install host
+  /// routes for every host address. Convenient for small test networks.
+  void compute_routes();
+
+  sim::Simulator* simulator() const { return sim_; }
+  sim::Rng& rng() { return rng_; }
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+  Link* find_link(Node* a, Node* b) const;
+
+ private:
+  void install_route(Node* at, IpAddr dst, Link* out);
+
+  sim::Simulator* sim_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Host*> hosts_;
+  std::uint32_t next_addr_ = 0x0a000001;  // 10.0.0.1
+};
+
+}  // namespace cronets::net

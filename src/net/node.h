@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "net/packet.h"
+#include "net/types.h"
+
+namespace cronets::net {
+
+class Link;
+
+/// Anything that can terminate a link: routers and hosts.
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Deliver `pkt` arriving over `from` (nullptr for locally injected).
+  virtual void receive(Packet pkt, Link* from) = 0;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+}  // namespace cronets::net

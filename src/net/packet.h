@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace cronets::net {
+
+/// One IP header. Packets carry a stack of these: headers.back() is the
+/// outermost header (the one routers forward on); tunnels push/pop entries.
+struct Ipv4Header {
+  IpAddr src;
+  IpAddr dst;
+  IpProto proto = IpProto::kTcp;
+  /// Extra bytes this encapsulation layer adds on the wire (0 for the
+  /// innermost header, which is accounted in kIpTcpHeaderBytes).
+  std::int64_t encap_overhead = 0;
+};
+
+/// TCP segment metadata. We simulate sequence space, not payload bytes.
+struct TcpSegment {
+  TransportPort sport = 0;
+  TransportPort dport = 0;
+  std::uint64_t seq = 0;        // first payload byte (or SYN/FIN position)
+  std::uint64_t ack = 0;        // next expected byte
+  std::int64_t payload = 0;     // payload length in bytes
+  bool syn = false;
+  bool fin = false;
+  bool has_ack = false;
+  bool rst = false;
+  bool win_probe = false;       // zero-window persist probe; elicits pure ACK
+  std::uint32_t rcv_wnd = 0;    // advertised receive window, bytes
+  /// SACK option: up to 3 [begin, end) received-but-not-acked ranges.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack;
+
+  // --- MPTCP data-sequence signal (DSS option), valid when dss_len > 0 ---
+  std::uint64_t dss_seq = 0;    // connection-level byte offset of this payload
+  std::int64_t dss_len = 0;
+  std::uint64_t dss_ack = 0;    // connection-level cumulative ack
+  bool has_dss_ack = false;
+  bool mp_capable = false;      // SYN carries MP_CAPABLE / MP_JOIN
+  std::uint32_t mp_token = 0;   // connection token shared by all subflows
+  int subflow_id = 0;
+
+  // --- Timestamp option (for RTT measurement à la tstat) ---
+  sim::Time ts_val{};
+  sim::Time ts_echo{};
+};
+
+enum class IcmpType : std::uint8_t {
+  kEchoRequest,
+  kEchoReply,
+  kTimeExceeded,
+  kDestUnreachable,
+};
+
+struct IcmpMessage {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint32_t probe_id = 0;   // correlates replies with probes
+  IpAddr original_dst;          // dst of the packet that triggered the error
+  int original_ttl = 0;         // TTL the probe was sent with
+};
+
+/// A simulated packet. Copied by value through the network; kept small.
+struct Packet {
+  std::vector<Ipv4Header> headers;  // [0] = innermost, back() = outermost
+  int ttl = 64;
+  std::variant<TcpSegment, IcmpMessage> body = TcpSegment{};
+  std::uint64_t uid = 0;            // unique per packet, for tracing
+
+  Ipv4Header& outer() {
+    assert(!headers.empty());
+    return headers.back();
+  }
+  const Ipv4Header& outer() const {
+    assert(!headers.empty());
+    return headers.back();
+  }
+  const Ipv4Header& inner() const {
+    assert(!headers.empty());
+    return headers.front();
+  }
+
+  bool is_tcp() const { return std::holds_alternative<TcpSegment>(body); }
+  TcpSegment& tcp() { return std::get<TcpSegment>(body); }
+  const TcpSegment& tcp() const { return std::get<TcpSegment>(body); }
+  bool is_icmp() const { return std::holds_alternative<IcmpMessage>(body); }
+  IcmpMessage& icmp() { return std::get<IcmpMessage>(body); }
+  const IcmpMessage& icmp() const { return std::get<IcmpMessage>(body); }
+
+  /// Total wire size: payload + base IP/TCP header + every encap layer.
+  std::int64_t size_bytes() const {
+    std::int64_t sz = kIpTcpHeaderBytes;
+    if (is_tcp()) sz += tcp().payload;
+    for (const auto& h : headers) sz += h.encap_overhead;
+    return sz;
+  }
+};
+
+}  // namespace cronets::net

@@ -1,0 +1,42 @@
+#include "net/router.h"
+
+namespace cronets::net {
+
+void Router::receive(Packet pkt, Link* /*from*/) {
+  if (pkt.outer().dst == addr_) {
+    // Routers terminate nothing except stray ICMP addressed to them.
+    return;
+  }
+  if (--pkt.ttl <= 0) {
+    send_time_exceeded(pkt);
+    return;
+  }
+  Link* out = route(pkt.outer().dst);
+  if (!out) {
+    ++no_route_drops_;
+    return;
+  }
+  ++forwarded_;
+  out->send(std::move(pkt));
+}
+
+void Router::send_time_exceeded(const Packet& original) {
+  Link* back = route(original.outer().src);
+  if (!back) return;
+
+  Packet reply;
+  reply.headers.push_back(
+      Ipv4Header{.src = addr_, .dst = original.outer().src, .proto = IpProto::kIcmp});
+  reply.ttl = 64;
+  IcmpMessage msg;
+  msg.type = IcmpType::kTimeExceeded;
+  msg.original_dst = original.outer().dst;
+  if (original.is_icmp()) {
+    msg.probe_id = original.icmp().probe_id;
+    msg.original_ttl = original.icmp().original_ttl;
+  }
+  reply.body = msg;
+  back->send(std::move(reply));
+}
+
+}  // namespace cronets::net

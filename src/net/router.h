@@ -1,0 +1,42 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "net/link.h"
+#include "net/node.h"
+#include "net/types.h"
+#include "sim/simulator.h"
+
+namespace cronets::net {
+
+/// A store-and-forward IP router: host routes only (the topology layer
+/// installs one entry per destination address), TTL handling with ICMP
+/// Time-Exceeded generation so traceroute works.
+class Router : public Node {
+ public:
+  Router(sim::Simulator* simv, NodeId id, std::string name, IpAddr addr)
+      : Node(id, std::move(name)), sim_(simv), addr_(addr) {}
+
+  void receive(Packet pkt, Link* from) override;
+
+  void add_route(IpAddr dst, Link* next_hop) { table_[dst] = next_hop; }
+  Link* route(IpAddr dst) const {
+    auto it = table_.find(dst);
+    return it == table_.end() ? nullptr : it->second;
+  }
+
+  IpAddr addr() const { return addr_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t no_route_drops() const { return no_route_drops_; }
+
+ private:
+  void send_time_exceeded(const Packet& original);
+
+  sim::Simulator* sim_;
+  IpAddr addr_;
+  std::unordered_map<IpAddr, Link*> table_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t no_route_drops_ = 0;
+};
+
+}  // namespace cronets::net

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cronets::net {
+
+/// Identifier of a simulated node (router or host). Dense, assigned by the
+/// Network that owns the node.
+enum class NodeId : std::uint32_t {};
+
+constexpr std::uint32_t raw(NodeId id) { return static_cast<std::uint32_t>(id); }
+
+/// IPv4-style address. We only need uniqueness + printability, so a plain
+/// 32-bit value with no subnet semantics (every router installs host routes).
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  constexpr explicit IpAddr(std::uint32_t v) : v_(v) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr auto operator<=>(const IpAddr&) const = default;
+
+  std::string to_string() const {
+    return std::to_string((v_ >> 24) & 0xff) + "." + std::to_string((v_ >> 16) & 0xff) +
+           "." + std::to_string((v_ >> 8) & 0xff) + "." + std::to_string(v_ & 0xff);
+  }
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+using TransportPort = std::uint16_t;
+
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kIcmp = 1,
+  kGre = 47,
+  kEsp = 50,
+};
+
+/// Standard Ethernet-ish constants used throughout.
+inline constexpr std::int64_t kMss = 1460;             // TCP payload bytes
+inline constexpr std::int64_t kIpTcpHeaderBytes = 40;  // IPv4 20 + TCP 20
+inline constexpr std::int64_t kGreOverheadBytes = 24;  // outer IP 20 + GRE 4
+inline constexpr std::int64_t kEspOverheadBytes = 57;  // outer IP + ESP hdr/trailer/ICV (approx)
+
+}  // namespace cronets::net
+
+template <>
+struct std::hash<cronets::net::IpAddr> {
+  std::size_t operator()(const cronets::net::IpAddr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

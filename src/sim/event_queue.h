@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cronets::sim {
+
+/// Handle to a scheduled event; allows O(1) logical cancellation.
+/// Cancelled events stay in the heap but are skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if this handle refers to an event that has not fired or been
+  /// cancelled yet.
+  bool pending() const { return state_ && !*state_; }
+
+  /// Cancel the event. Safe to call on empty or already-fired handles.
+  void cancel() {
+    if (state_) *state_ = true;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  std::shared_ptr<bool> state_;  // *state_ == true  =>  cancelled or fired
+};
+
+/// Priority queue of timed callbacks. FIFO among events with equal time.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventHandle schedule(Time at, Callback cb) {
+    auto state = std::make_shared<bool>(false);
+    heap_.push(Entry{at, next_seq_++, std::move(cb), state});
+    return EventHandle{std::move(state)};
+  }
+
+  /// True when no live (non-cancelled) event remains.
+  bool empty() {
+    drop_cancelled();
+    return heap_.empty();
+  }
+
+  /// Earliest live event time; Time::max() when empty.
+  Time next_time() {
+    drop_cancelled();
+    return heap_.empty() ? Time::max() : heap_.top().at;
+  }
+
+  /// Pop and run the earliest live event. Returns false when empty.
+  bool run_next(Time* fired_at = nullptr) {
+    drop_cancelled();
+    if (heap_.empty()) return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    *e.cancelled = true;  // mark fired so handle.pending() flips
+    if (fired_at) *fired_at = e.at;
+    e.cb();
+    return true;
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  void drop_cancelled() {
+    while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cronets::sim

@@ -1,0 +1,19 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace cronets::sim {
+
+std::string Time::to_string() const {
+  char buf[64];
+  if (ns_ >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds());
+  } else if (ns_ >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_milliseconds());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+}  // namespace cronets::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace cronets::sim {
+
+/// Simulated time, stored as integer nanoseconds since the start of the
+/// simulation. A strong type so that times, durations and plain integers
+/// cannot be mixed up silently.
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time nanoseconds(std::int64_t v) { return Time{v}; }
+  static constexpr Time microseconds(std::int64_t v) { return Time{v * 1'000}; }
+  static constexpr Time milliseconds(std::int64_t v) { return Time{v * 1'000'000}; }
+  static constexpr Time seconds(std::int64_t v) { return Time{v * 1'000'000'000}; }
+  static constexpr Time minutes(std::int64_t v) { return seconds(v * 60); }
+  static constexpr Time hours(std::int64_t v) { return seconds(v * 3600); }
+  /// Fractional seconds, e.g. Time::from_seconds(0.25).
+  static constexpr Time from_seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_milliseconds() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Time rhs) const { return Time{ns_ + rhs.ns_}; }
+  constexpr Time operator-(Time rhs) const { return Time{ns_ - rhs.ns_}; }
+  constexpr Time& operator+=(Time rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+  constexpr Time operator*(std::int64_t k) const { return Time{ns_ * k}; }
+  constexpr Time operator/(std::int64_t k) const { return Time{ns_ / k}; }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Time needed to serialize `bytes` at `bits_per_second` on the wire.
+constexpr Time transmission_time(std::int64_t bytes, double bits_per_second) {
+  return Time{static_cast<std::int64_t>(static_cast<double>(bytes) * 8.0 /
+                                        bits_per_second * 1e9)};
+}
+
+}  // namespace cronets::sim

@@ -1,0 +1,40 @@
+#include <cmath>
+
+#include "topo/types.h"
+
+namespace cronets::topo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kPi = 3.14159265358979323846;
+double rad(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+double distance_km(GeoPoint a, GeoPoint b) {
+  const double dlat = rad(b.lat - a.lat);
+  const double dlon = rad(b.lon - a.lon);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(rad(a.lat)) * std::cos(rad(b.lat)) *
+                       std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_ms(double km) {
+  // ~200 km per ms in fiber, plus per-hop forwarding latency; real routes
+  // are not great circles, so inflate distance by a fudge factor.
+  return (km * 1.3) / 200.0 + 0.15;
+}
+
+GeoPoint region_center(Region r) {
+  switch (r) {
+    case Region::kNaEast: return {40.0, -76.0};
+    case Region::kNaWest: return {37.5, -121.0};
+    case Region::kEurope: return {50.0, 7.0};
+    case Region::kAsia: return {34.0, 130.0};
+    case Region::kSouthAmerica: return {-23.0, -47.0};
+    case Region::kAustralia: return {-33.0, 150.0};
+  }
+  return {0.0, 0.0};
+}
+
+}  // namespace cronets::topo

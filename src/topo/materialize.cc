@@ -1,0 +1,142 @@
+#include "topo/materialize.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cronets::topo {
+
+namespace {
+std::int64_t queue_limit_for(double capacity_bps) {
+  // Rate-limited edge links (the 100 Mbps virtual NIC) get generous token
+  // buckets — intercontinental flows need BDP-scale absorption; faster
+  // links get ~50 ms of buffering, clamped to sane hardware ranges.
+  if (capacity_bps <= 200e6) {
+    return static_cast<std::int64_t>(capacity_bps / 8.0 * 0.12);
+  }
+  const double bytes = capacity_bps / 8.0 * 0.05;
+  return static_cast<std::int64_t>(
+      std::clamp(bytes, 128.0 * 1024, 4.0 * 1024 * 1024));
+}
+
+net::LinkSpec spec_for(const TopoLink& l, bool forward) {
+  net::LinkSpec s;
+  s.capacity_bps = l.capacity_bps;
+  s.prop_delay = sim::Time::from_seconds(l.delay_ms / 1e3);
+  s.queue_limit_bytes = queue_limit_for(l.capacity_bps);
+  s.background = forward ? l.bg_fwd : l.bg_rev;
+  return s;
+}
+}  // namespace
+
+net::Host* Materializer::host(int endpoint_id) {
+  auto it = hosts_.find(endpoint_id);
+  if (it != hosts_.end()) return it->second;
+
+  const Endpoint& ep = topo_->endpoint(endpoint_id);
+  net::Host* h = net_->add_host(ep.name);
+  net::Router* r = router(ep.access_router);
+  // Access link: topo convention is router_a = access router, router_b = host.
+  materialize_link(ep.access_link, r, h, /*a_is_router_a=*/true);
+  hosts_[endpoint_id] = h;
+  return h;
+}
+
+net::Router* Materializer::router(int router_id) {
+  auto it = routers_.find(router_id);
+  if (it != routers_.end()) return it->second;
+  net::Router* r = net_->add_router(topo_->routers()[router_id].name);
+  routers_[router_id] = r;
+  return r;
+}
+
+std::pair<net::Link*, net::Link*> Materializer::materialize_link(int topo_link_id,
+                                                                 net::Node* a,
+                                                                 net::Node* b,
+                                                                 bool a_is_router_a) {
+  auto it = links_.find(topo_link_id);
+  if (it != links_.end()) return it->second;
+
+  const TopoLink& tl = topo_->links()[topo_link_id];
+  // Create with canonical orientation: first node = router_a side.
+  net::Node* ra = a_is_router_a ? a : b;
+  net::Node* rb = a_is_router_a ? b : a;
+  auto [fwd, rev] = net_->add_link(ra, rb, spec_for(tl, true), spec_for(tl, false));
+  links_[topo_link_id] = {fwd, rev};
+  return {fwd, rev};
+}
+
+net::Link* Materializer::link(int topo_link_id, bool forward) const {
+  auto it = links_.find(topo_link_id);
+  if (it == links_.end()) return nullptr;
+  return forward ? it->second.first : it->second.second;
+}
+
+void Materializer::install_direction(const RouterPath& p, int ep_src, int ep_dst,
+                                     net::IpAddr dst_addr) {
+  assert(p.valid);
+  net::Host* src = host(ep_src);
+  net::Host* dst = host(ep_dst);
+
+  // Node sequence: src host, p.routers..., dst host.
+  std::vector<net::Node*> nodes;
+  nodes.push_back(src);
+  for (int rid : p.routers) nodes.push_back(router(rid));
+  nodes.push_back(dst);
+  assert(nodes.size() == p.traversals.size() + 1);
+
+  for (std::size_t i = 0; i < p.traversals.size(); ++i) {
+    const Traversal& t = p.traversals[i];
+    const TopoLink& tl = topo_->links()[t.link_id];
+    net::Node* from = nodes[i];
+    net::Node* to = nodes[i + 1];
+    // Is `from` the topo link's router_a side for this traversal?
+    const bool from_is_a = t.forward;
+    (void)tl;
+    auto [fwd, rev] = materialize_link(t.link_id, from, to, from_is_a);
+    net::Link* hop = t.forward ? fwd : rev;
+    // Install the next hop toward dst_addr at `from`.
+    if (auto* r = dynamic_cast<net::Router*>(from)) {
+      r->add_route(dst_addr, hop);
+    } else if (auto* h = dynamic_cast<net::Host*>(from)) {
+      h->add_route(dst_addr, hop);
+    }
+  }
+}
+
+void Materializer::add_pair(int ep_a, int ep_b) {
+  net::Host* ha = host(ep_a);
+  net::Host* hb = host(ep_b);
+  RouterPath fwd = topo_->path(ep_a, ep_b);
+  RouterPath rev = topo_->path(ep_b, ep_a);
+  assert(fwd.valid && rev.valid && "endpoints not connected");
+  install_direction(fwd, ep_a, ep_b, hb->addr());
+  install_direction(rev, ep_b, ep_a, ha->addr());
+}
+
+void Materializer::add_alias_path(net::IpAddr alias, int ep_src, int ep_dst) {
+  net::Host* hd = host(ep_dst);
+  hd->add_alias(alias);
+  RouterPath p = topo_->path(ep_src, ep_dst);
+  assert(p.valid);
+  install_direction(p, ep_src, ep_dst, alias);
+}
+
+void Materializer::add_backbone_pair(int dc_ep_a, int dc_ep_b) {
+  net::Host* ha = host(dc_ep_a);
+  net::Host* hb = host(dc_ep_b);
+  RouterPath fwd = topo_->backbone_path(dc_ep_a, dc_ep_b);
+  RouterPath rev = topo_->backbone_path(dc_ep_b, dc_ep_a);
+  install_direction(fwd, dc_ep_a, dc_ep_b, hb->addr());
+  install_direction(rev, dc_ep_b, dc_ep_a, ha->addr());
+}
+
+void Materializer::apply_events() {
+  for (const LinkEvent& ev : topo_->events()) {
+    auto it = links_.find(ev.link_id);
+    if (it == links_.end()) continue;
+    net::Link* l = ev.forward ? it->second.first : it->second.second;
+    l->background().add_event(ev.from, ev.until, ev.util_boost);
+  }
+}
+
+}  // namespace cronets::topo

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+
+#include "net/network.h"
+#include "topo/internet.h"
+
+namespace cronets::topo {
+
+/// Builds a packet-level net::Network containing exactly the slice of the
+/// generated Internet that an experiment exercises: the hosts involved and
+/// every router/link on the policy paths between them. Links materialized
+/// twice (shared by several paths) are deduplicated so background
+/// congestion is consistent across flows, like the real network.
+class Materializer {
+ public:
+  Materializer(Internet* topo, net::Network* network)
+      : topo_(topo), net_(network) {}
+
+  /// Host for an endpoint (created on first use, with its access link).
+  net::Host* host(int endpoint_id);
+
+  /// Materialize the policy path src -> dst and install routes toward the
+  /// dst host's address along it. Also installs the reverse path (routing
+  /// may be asymmetric; both directions are policy-computed).
+  void add_pair(int ep_a, int ep_b);
+
+  /// Install `alias` as an additional address of `ep_dst`, routed along the
+  /// policy path ep_src -> ep_dst (MPTCP ADD_ADDR path steering: the alias
+  /// is only reachable along this particular path).
+  void add_alias_path(net::IpAddr alias, int ep_src, int ep_dst);
+
+  /// Materialize the private cloud backbone path between two DC endpoints.
+  void add_backbone_pair(int dc_ep_a, int dc_ep_b);
+
+  /// The materialized link for a traversal direction (nullptr if absent).
+  net::Link* link(int topo_link_id, bool forward) const;
+
+  /// Apply the Internet's scheduled transient events to every materialized
+  /// link (call after all paths are added).
+  void apply_events();
+
+ private:
+  net::Router* router(int router_id);
+  /// Returns {fwd, rev} net links for a topo link between materialized
+  /// nodes a/b where `a_is_router_a` says whether node `a` is the topo
+  /// link's router_a side.
+  std::pair<net::Link*, net::Link*> materialize_link(int topo_link_id, net::Node* a,
+                                                     net::Node* b, bool a_is_router_a);
+  void install_direction(const RouterPath& p, int ep_src, int ep_dst,
+                         net::IpAddr dst_addr);
+
+  Internet* topo_;
+  net::Network* net_;
+  std::unordered_map<int, net::Host*> hosts_;       // endpoint id -> host
+  std::unordered_map<int, net::Router*> routers_;   // topo router id -> router
+  // topo link id -> {a->b link, b->a link}
+  std::unordered_map<int, std::pair<net::Link*, net::Link*>> links_;
+};
+
+}  // namespace cronets::topo

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "transport/tcp.h"
+
+namespace cronets::transport {
+
+/// iperf-style sink: accepts connections and counts delivered bytes.
+class BulkSink {
+ public:
+  BulkSink(net::Host* host, net::TransportPort port, TcpConfig cfg)
+      : listener_(host, port, cfg) {
+    listener_.set_on_accept([this](TcpConnection& c) {
+      c.set_on_data([this](std::int64_t n, std::uint64_t) {
+        bytes_ += static_cast<std::uint64_t>(n);
+      });
+    });
+  }
+
+  std::uint64_t bytes_received() const { return bytes_; }
+  TcpListener& listener() { return listener_; }
+
+ private:
+  TcpListener listener_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// iperf-style source: connects and streams data for as long as the
+/// simulation runs. Throughput is measured at the sink.
+class BulkSource {
+ public:
+  BulkSource(net::Host* host, net::TransportPort local_port, net::IpAddr dst,
+             net::TransportPort dst_port, TcpConfig cfg)
+      : conn_(std::make_unique<TcpConnection>(host, local_port, dst, dst_port, cfg)) {
+    conn_->set_infinite_source(true);
+  }
+
+  void start() { conn_->connect(); }
+  TcpConnection& connection() { return *conn_; }
+
+ private:
+  std::unique_ptr<TcpConnection> conn_;
+};
+
+/// "Eclipse mirror" style file server: on every accepted connection, writes
+/// `file_bytes` and then closes.
+class FileServer {
+ public:
+  FileServer(net::Host* host, net::TransportPort port, std::int64_t file_bytes,
+             TcpConfig cfg)
+      : listener_(host, port, cfg), file_bytes_(file_bytes) {
+    listener_.set_on_accept([this](TcpConnection& c) {
+      c.set_on_connected([&c, n = file_bytes_] {
+        c.app_write(n);
+        c.close();
+      });
+    });
+  }
+
+  TcpListener& listener() { return listener_; }
+
+ private:
+  TcpListener listener_;
+  std::int64_t file_bytes_;
+};
+
+/// Client that downloads a file and records the completion time.
+class FileDownloader {
+ public:
+  FileDownloader(net::Host* host, net::TransportPort local_port, net::IpAddr server,
+                 net::TransportPort server_port, TcpConfig cfg)
+      : conn_(std::make_unique<TcpConnection>(host, local_port, server, server_port,
+                                              cfg)) {
+    conn_->set_on_data([this](std::int64_t n, std::uint64_t) {
+      bytes_ += static_cast<std::uint64_t>(n);
+    });
+  }
+
+  void start(sim::Simulator* simv) {
+    start_time_ = simv->now();
+    conn_->set_on_peer_closed([this, simv] {
+      done_ = true;
+      finish_time_ = simv->now();
+    });
+    conn_->connect();
+  }
+
+  bool done() const { return done_; }
+  std::uint64_t bytes() const { return bytes_; }
+  /// Goodput of the completed download in bit/s (0 if not finished).
+  double goodput_bps() const {
+    if (!done_ || finish_time_ <= start_time_) return 0.0;
+    return static_cast<double>(bytes_) * 8.0 / (finish_time_ - start_time_).to_seconds();
+  }
+  TcpConnection& connection() { return *conn_; }
+
+ private:
+  std::unique_ptr<TcpConnection> conn_;
+  std::uint64_t bytes_ = 0;
+  bool done_ = false;
+  sim::Time start_time_{};
+  sim::Time finish_time_{};
+};
+
+}  // namespace cronets::transport

@@ -1,0 +1,229 @@
+#include "transport/congestion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cronets::transport {
+
+namespace {
+constexpr double kMinCwndMss = 2.0;
+}
+
+// ---------------------------------------------------------------- NewReno
+
+void RenoCc::on_ack(std::int64_t acked, sim::Time /*srtt*/, sim::Time /*now*/) {
+  if (in_slow_start()) {
+    cwnd_ += ss_increment(acked);
+  } else {
+    cwnd_ += mss_ * std::min(static_cast<double>(acked), 8.0 * mss_) / cwnd_;
+  }
+}
+
+void RenoCc::on_loss_event(sim::Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, kMinCwndMss * mss_);
+  cwnd_ = ssthresh_;
+}
+
+void RenoCc::on_timeout(sim::Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, kMinCwndMss * mss_);
+  cwnd_ = mss_;
+}
+
+// ------------------------------------------------------------------ CUBIC
+
+double CubicCc::cubic_window(double t_sec) const {
+  const double d = t_sec - k_;
+  return kC * d * d * d + w_max_mss_;
+}
+
+void CubicCc::on_ack(std::int64_t acked, sim::Time srtt, sim::Time now) {
+  if (in_slow_start()) {
+    cwnd_ += ss_increment(acked);
+    return;
+  }
+  if (!in_epoch_) {
+    in_epoch_ = true;
+    epoch_start_ = now;
+    if (w_max_mss_ < cwnd_ / mss_) w_max_mss_ = cwnd_ / mss_;
+    k_ = std::cbrt(w_max_mss_ * (1.0 - kBeta) / kC);
+  }
+  const double t = (now - epoch_start_).to_seconds() + srtt.to_seconds();
+  const double target_mss = cubic_window(t);
+  const double cwnd_mss = cwnd_ / mss_;
+
+  // TCP-friendly region (standard AIMD estimate with beta=0.7).
+  const double rtt = std::max(srtt.to_seconds(), 1e-4);
+  const double elapsed = (now - epoch_start_).to_seconds();
+  const double w_est =
+      w_max_mss_ * kBeta + (3.0 * (1.0 - kBeta) / (1.0 + kBeta)) * (elapsed / rtt);
+
+  const double goal = std::max(target_mss, w_est);
+  if (goal > cwnd_mss) {
+    // Spread the increase over the outstanding window, per-ACK, but never
+    // grow faster than slow start would (Linux caps cubic's per-ACK gain;
+    // without this, a stale high target after an RTO multiplies a large
+    // cumulative ACK into a runaway window).
+    const double inc =
+        mss_ * ((goal - cwnd_mss) / cwnd_mss) * (static_cast<double>(acked) / mss_);
+    cwnd_ += std::min(inc, ss_increment(acked));
+  } else {
+    cwnd_ += mss_ * 0.01 * (static_cast<double>(acked) / cwnd_);  // slow probe
+  }
+}
+
+void CubicCc::on_loss_event(sim::Time /*now*/) {
+  w_max_mss_ = cwnd_ / mss_;
+  cwnd_ = std::max(cwnd_ * kBeta, kMinCwndMss * mss_);
+  ssthresh_ = cwnd_;
+  in_epoch_ = false;
+}
+
+void CubicCc::on_timeout(sim::Time /*now*/) {
+  w_max_mss_ = cwnd_ / mss_;
+  ssthresh_ = std::max(cwnd_ * kBeta, kMinCwndMss * mss_);
+  cwnd_ = mss_;
+  in_epoch_ = false;
+}
+
+// ----------------------------------------------------------- CoupledGroup
+
+std::size_t CoupledGroup::register_member(CongestionControl* cc) {
+  members_.push_back(Member{.cc = cc});
+  return members_.size() - 1;
+}
+
+double CoupledGroup::total_cwnd() const {
+  double total = 0.0;
+  for (const auto& m : members_) total += m.cc->cwnd();
+  return total;
+}
+
+double CoupledGroup::lia_alpha() const {
+  double best = 0.0;
+  double denom = 0.0;
+  for (const auto& m : members_) {
+    const double rtt = std::max(m.srtt.to_seconds(), 1e-4);
+    best = std::max(best, m.cc->cwnd() / (rtt * rtt));
+    denom += m.cc->cwnd() / rtt;
+  }
+  if (denom <= 0.0) return 1.0;
+  return total_cwnd() * best / (denom * denom);
+}
+
+// -------------------------------------------------------------------- LIA
+
+void LiaCc::on_ack(std::int64_t acked, sim::Time srtt, sim::Time now) {
+  (void)now;
+  auto& me = group_->member(self_);
+  me.srtt = srtt;
+  me.bytes_since_loss += static_cast<double>(acked);
+  if (in_slow_start()) {
+    cwnd_ += ss_increment(acked);
+    return;
+  }
+  const double total = group_->total_cwnd();
+  const double a = group_->lia_alpha();
+  const double coupled = a * static_cast<double>(acked) * mss_ / std::max(total, mss_);
+  const double uncoupled = static_cast<double>(acked) * mss_ / cwnd_;
+  cwnd_ += std::min(coupled, uncoupled);
+}
+
+void LiaCc::on_loss_event(sim::Time /*now*/) {
+  auto& me = group_->member(self_);
+  me.prev_interloss_bytes = me.bytes_since_loss;
+  me.bytes_since_loss = 0.0;
+  ssthresh_ = std::max(cwnd_ / 2.0, kMinCwndMss * mss_);
+  cwnd_ = ssthresh_;
+}
+
+void LiaCc::on_timeout(sim::Time /*now*/) {
+  auto& me = group_->member(self_);
+  me.prev_interloss_bytes = me.bytes_since_loss;
+  me.bytes_since_loss = 0.0;
+  ssthresh_ = std::max(cwnd_ / 2.0, kMinCwndMss * mss_);
+  cwnd_ = mss_;
+}
+
+// ------------------------------------------------------------------- OLIA
+
+double OliaCc::alpha() const {
+  // OLIA (Khalili et al. §3): paths are ranked by l_r^2 / rtt_r where l_r is
+  // the (smoothed) inter-loss byte count; alpha shifts window from the
+  // max-window set M toward the best-but-small set B \ M.
+  const auto& members = group_->members();
+  const std::size_t n = members.size();
+  if (n <= 1) return 0.0;
+
+  double best_metric = -1.0;
+  double max_w = -1.0;
+  for (const auto& m : members) {
+    const double l = std::max(m.bytes_since_loss, m.prev_interloss_bytes);
+    const double rtt = std::max(m.srtt.to_seconds(), 1e-4);
+    best_metric = std::max(best_metric, l * l / rtt);
+    max_w = std::max(max_w, m.cc->cwnd());
+  }
+  auto metric = [](const CoupledGroup::Member& m) {
+    const double l = std::max(m.bytes_since_loss, m.prev_interloss_bytes);
+    return l * l / std::max(m.srtt.to_seconds(), 1e-4);
+  };
+
+  std::size_t n_best_small = 0;  // |B \ M|
+  std::size_t n_max = 0;         // |M|
+  for (const auto& m : members) {
+    const bool is_best = metric(m) >= best_metric * (1.0 - 1e-9);
+    const bool is_max = m.cc->cwnd() >= max_w * (1.0 - 1e-9);
+    if (is_best && !is_max) ++n_best_small;
+    if (is_max) ++n_max;
+  }
+  if (n_best_small == 0) return 0.0;
+
+  const auto& me = members[self_];
+  const bool me_best = metric(me) >= best_metric * (1.0 - 1e-9);
+  const bool me_max = me.cc->cwnd() >= max_w * (1.0 - 1e-9);
+  const double nn = static_cast<double>(n);
+  if (me_best && !me_max) return 1.0 / (static_cast<double>(n_best_small) * nn);
+  if (me_max) return -1.0 / (static_cast<double>(n_max) * nn);
+  return 0.0;
+}
+
+void OliaCc::on_ack(std::int64_t acked, sim::Time srtt, sim::Time now) {
+  (void)now;
+  auto& me = group_->member(self_);
+  me.srtt = srtt;
+  me.bytes_since_loss += static_cast<double>(acked);
+  if (in_slow_start()) {
+    cwnd_ += ss_increment(acked);
+    return;
+  }
+  // dw_r per ACK (in MSS):  (w_r/rtt_r^2) / (sum_p w_p/rtt_p)^2  +  alpha_r / w_r
+  double denom = 0.0;
+  for (const auto& m : group_->members()) {
+    denom += m.cc->cwnd() / std::max(m.srtt.to_seconds(), 1e-4);
+  }
+  const double rtt = std::max(srtt.to_seconds(), 1e-4);
+  const double w_mss = cwnd_ / mss_;
+  const double denom_mss = denom / mss_;
+  const double coupled_term =
+      (w_mss / (rtt * rtt)) / std::max(denom_mss * denom_mss, 1e-9);
+  const double alpha_term = alpha() / std::max(w_mss, 1e-9);
+  const double dw_mss = (coupled_term + alpha_term) * (static_cast<double>(acked) / mss_);
+  cwnd_ = std::max(cwnd_ + dw_mss * mss_, kMinCwndMss * mss_);
+}
+
+void OliaCc::on_loss_event(sim::Time /*now*/) {
+  auto& me = group_->member(self_);
+  me.prev_interloss_bytes = me.bytes_since_loss;
+  me.bytes_since_loss = 0.0;
+  ssthresh_ = std::max(cwnd_ / 2.0, kMinCwndMss * mss_);
+  cwnd_ = ssthresh_;
+}
+
+void OliaCc::on_timeout(sim::Time /*now*/) {
+  auto& me = group_->member(self_);
+  me.prev_interloss_bytes = me.bytes_since_loss;
+  me.bytes_since_loss = 0.0;
+  ssthresh_ = std::max(cwnd_ / 2.0, kMinCwndMss * mss_);
+  cwnd_ = mss_;
+}
+
+}  // namespace cronets::transport

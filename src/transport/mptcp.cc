@@ -1,0 +1,227 @@
+#include "transport/mptcp.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace cronets::transport {
+
+namespace {
+std::uint32_t next_token() {
+  static std::uint32_t counter = 1;
+  return counter++;
+}
+}  // namespace
+
+MptcpConnection::MptcpConnection(net::Host* host, net::TransportPort base_local_port,
+                                 std::vector<net::IpAddr> remote_addrs,
+                                 net::TransportPort remote_port, MptcpConfig cfg)
+    : host_(host), cfg_(cfg), token_(next_token()) {
+  assert(!remote_addrs.empty());
+
+  const bool coupled =
+      cfg.coupling == Coupling::kOlia || cfg.coupling == Coupling::kLia;
+  if (coupled) group_ = std::make_shared<CoupledGroup>();
+
+  for (std::size_t i = 0; i < remote_addrs.size(); ++i) {
+    TcpConfig sub = cfg.subflow;
+    sub.remote_addr = remote_addrs[i];
+    switch (cfg.coupling) {
+      case Coupling::kOlia:
+        sub.cc = [g = group_](std::int64_t mss) {
+          return std::make_unique<OliaCc>(mss, g);
+        };
+        break;
+      case Coupling::kLia:
+        sub.cc = [g = group_](std::int64_t mss) {
+          return std::make_unique<LiaCc>(mss, g);
+        };
+        break;
+      case Coupling::kUncoupledCubic:
+        sub.cc = CubicCc::factory();
+        break;
+      case Coupling::kUncoupledReno:
+        sub.cc = RenoCc::factory();
+        break;
+    }
+    auto conn = std::make_unique<TcpConnection>(
+        host_, static_cast<net::TransportPort>(base_local_port + i),
+        remote_addrs[i], remote_port, sub);
+    conn->set_data_provider(this);
+    conn->set_subflow_id(static_cast<int>(i));
+    conn->set_mp_capable(true);
+    conn->set_mp_token(token_);
+    conn->set_on_failed([this, i] { on_subflow_failed(i); });
+    subflows_.push_back(std::move(conn));
+  }
+}
+
+void MptcpConnection::connect() {
+  for (std::size_t i = 0; i < subflows_.size(); ++i) {
+    host_->simulator()->schedule_in(
+        cfg_.subflow_stagger * static_cast<std::int64_t>(i),
+        [this, i] { subflows_[i]->connect(); });
+  }
+  if (cfg_.hol_check_interval > sim::Time::zero()) {
+    hol_timer_ = host_->simulator()->schedule_in(cfg_.hol_check_interval,
+                                                 [this] { check_head_of_line(); });
+  }
+}
+
+void MptcpConnection::check_head_of_line() {
+  hol_timer_ = host_->simulator()->schedule_in(cfg_.hol_check_interval,
+                                               [this] { check_head_of_line(); });
+  const bool outstanding = data_next_ > contiguous_acked_;
+  if (!outstanding || contiguous_acked_ != hol_last_acked_) {
+    hol_stalls_ = 0;
+    hol_last_acked_ = contiguous_acked_;
+    return;
+  }
+  if (++hol_stalls_ < 2) return;  // give the subflow ~2 intervals to recover
+
+  // Delivery is stalled: find the lowest un-acked DSS range (the hole the
+  // receiver is waiting on) and re-offer it so a healthy subflow pulls it.
+  std::uint64_t lowest = ~0ull;
+  std::int64_t len = 0;
+  for (const auto& s : subflows_) {
+    for (const auto& [d, l] : s->unacked_dss()) {
+      if (d < lowest) {
+        lowest = d;
+        len = l;
+      }
+    }
+  }
+  if (lowest == ~0ull || lowest == hol_last_reinjected_) return;
+  hol_last_reinjected_ = lowest;
+  ++hol_reinjections_;
+  reinject_.emplace_front(lowest, std::min(len, cfg_.hol_reinject_cap));
+  hol_stalls_ = 0;
+  notify_all();
+}
+
+void MptcpConnection::app_write(std::int64_t bytes) {
+  stream_len_ += static_cast<std::uint64_t>(bytes);
+  notify_all();
+}
+
+std::int64_t MptcpConnection::pull(std::int64_t max_bytes, std::uint64_t* dseq,
+                                   const TcpConnection& who) {
+  // Penalization (real MPTCP schedulers do the same): a subflow that is
+  // RTO-cycling must not strand fresh chunks behind its stalls — starve it
+  // until it makes forward progress again. Reinjections are likewise kept
+  // away from unhealthy subflows.
+  if (who.consecutive_rtos() > 0) return 0;
+  if (!reinject_.empty()) {
+    auto& [d, len] = reinject_.front();
+    const std::int64_t grant = std::min(len, max_bytes);
+    *dseq = d;
+    d += static_cast<std::uint64_t>(grant);
+    len -= grant;
+    if (len <= 0) reinject_.pop_front();
+    return grant;
+  }
+  if (infinite_) {
+    const std::uint64_t want = data_next_ + 64ull * 1460ull;
+    if (stream_len_ < want) stream_len_ = want;
+  }
+  const std::int64_t avail = static_cast<std::int64_t>(stream_len_ - data_next_);
+  const std::int64_t grant = std::min(avail, max_bytes);
+  if (grant <= 0) return 0;
+  *dseq = data_next_;
+  data_next_ += static_cast<std::uint64_t>(grant);
+  return grant;
+}
+
+void MptcpConnection::on_dss_acked(std::uint64_t dseq, std::int64_t len) {
+  // Merge [dseq, dseq+len) into the acked interval map.
+  std::uint64_t lo = dseq;
+  std::uint64_t hi = dseq + static_cast<std::uint64_t>(len);
+  auto it = acked_.upper_bound(lo);
+  if (it != acked_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) {
+      lo = prev->first;
+      hi = std::max(hi, prev->second);
+      it = acked_.erase(prev);
+    }
+  }
+  while (it != acked_.end() && it->first <= hi) {
+    hi = std::max(hi, it->second);
+    it = acked_.erase(it);
+  }
+  acked_[lo] = hi;
+
+  auto front = acked_.begin();
+  if (front != acked_.end() && front->first <= contiguous_acked_) {
+    contiguous_acked_ = std::max(contiguous_acked_, front->second);
+  }
+}
+
+std::size_t MptcpConnection::alive_subflows() const {
+  std::size_t n = 0;
+  for (const auto& s : subflows_) {
+    if (!s->failed()) ++n;
+  }
+  return n;
+}
+
+void MptcpConnection::on_subflow_failed(std::size_t idx) {
+  // Reinject every data-level range the dead subflow still held.
+  for (auto [d, len] : subflows_[idx]->unacked_dss()) {
+    // Skip ranges another subflow already got acknowledged (possible after
+    // an earlier reinjection raced the original transmission).
+    reinject_.emplace_back(d, len);
+  }
+  notify_all();
+}
+
+void MptcpConnection::notify_all() {
+  for (auto& s : subflows_) {
+    if (s->established()) s->notify_data_available();
+  }
+}
+
+// ----------------------------------------------------------------- listener
+
+MptcpListener::MptcpListener(net::Host* host, net::TransportPort port,
+                             TcpConfig subflow_cfg)
+    : listener_(host, port, subflow_cfg) {
+  listener_.set_on_accept([this](TcpConnection& conn) {
+    const std::uint32_t token = conn.mp_token();
+    conn.set_on_data([this, token](std::int64_t len, std::uint64_t dseq) {
+      on_subflow_data(token, len, dseq);
+    });
+  });
+}
+
+void MptcpListener::on_subflow_data(std::uint32_t token, std::int64_t len,
+                                    std::uint64_t dseq) {
+  ConnState& st = conns_[token];
+  std::uint64_t lo = dseq;
+  std::uint64_t hi = dseq + static_cast<std::uint64_t>(len);
+  auto it = st.received.upper_bound(lo);
+  if (it != st.received.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) {
+      lo = prev->first;
+      hi = std::max(hi, prev->second);
+      it = st.received.erase(prev);
+    }
+  }
+  while (it != st.received.end() && it->first <= hi) {
+    hi = std::max(hi, it->second);
+    it = st.received.erase(it);
+  }
+  st.received[lo] = hi;
+
+  auto front = st.received.begin();
+  if (front != st.received.end() && front->first == 0 &&
+      front->second > st.contiguous) {
+    const std::uint64_t delta = front->second - st.contiguous;
+    st.contiguous = front->second;
+    total_delivered_ += delta;
+    if (on_data_) on_data_(static_cast<std::int64_t>(delta));
+  }
+}
+
+}  // namespace cronets::transport

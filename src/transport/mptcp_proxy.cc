@@ -1,0 +1,89 @@
+#include "transport/mptcp_proxy.h"
+
+#include <algorithm>
+
+namespace cronets::transport {
+
+// ------------------------------------------------------------------ egress
+
+MptcpEgressProxy::MptcpEgressProxy(net::Host* host, net::TransportPort mptcp_port,
+                                   net::IpAddr dest, net::TransportPort dest_port,
+                                   TcpConfig cfg)
+    : host_(host),
+      listener_(host, mptcp_port, cfg),
+      forward_(host, static_cast<net::TransportPort>(mptcp_port + 1), dest,
+               dest_port, cfg),
+      buffer_limit_(1 * 1024 * 1024) {
+  listener_.set_on_data([this](std::int64_t n) {
+    buffered_ += n;
+    pump();
+  });
+  forward_.set_on_connected([this] {
+    forward_up_ = true;
+    pump();
+  });
+  forward_.set_on_drain([this] { pump(); }, buffer_limit_ / 2);
+  forward_.connect();
+}
+
+void MptcpEgressProxy::pump() {
+  if (!forward_up_) return;
+  const std::int64_t room = buffer_limit_ - forward_.unsent_backlog();
+  const std::int64_t n = std::min(buffered_, room);
+  if (n <= 0) return;
+  forward_.app_write(n);
+  buffered_ -= n;
+  relayed_ += static_cast<std::uint64_t>(n);
+}
+
+// ----------------------------------------------------------------- ingress
+
+MptcpIngressProxy::MptcpIngressProxy(net::Host* host, net::TransportPort listen_port,
+                                     std::vector<net::IpAddr> remote_addrs,
+                                     net::TransportPort egress_port, MptcpConfig cfg,
+                                     std::int64_t inflight_limit)
+    : host_(host),
+      listener_(host, listen_port, cfg.subflow),
+      inflight_limit_(inflight_limit) {
+  mptcp_ = std::make_unique<MptcpConnection>(
+      host, static_cast<net::TransportPort>(listen_port + 1000),
+      std::move(remote_addrs), egress_port, cfg);
+  mptcp_->connect();
+  listener_.set_on_accept([this](TcpConnection& c) { on_accept(c); });
+}
+
+void MptcpIngressProxy::on_accept(TcpConnection& client) {
+  // One client stream per proxy pair (the gateway deployment model); a
+  // second connection would need its own MPTCP session.
+  if (client_) return;
+  client_ = &client;
+  client.set_auto_consume(false);
+  client.set_on_data([this](std::int64_t n, std::uint64_t) {
+    client_buffered_ += n;
+    accepted_ += static_cast<std::uint64_t>(n);
+    pump();
+  });
+  // Periodically drain as MPTCP acks progress (data-level acks arrive via
+  // subflow acks; poll on a short pacing timer).
+  on_timer();
+}
+
+void MptcpIngressProxy::on_timer() {
+  pump();
+  timer_ = host_->simulator()->schedule_in(sim::Time::milliseconds(50),
+                                           [this] { on_timer(); });
+}
+
+void MptcpIngressProxy::pump() {
+  if (!client_) return;
+  const std::int64_t inflight =
+      static_cast<std::int64_t>(mptcp_->data_offered() - mptcp_->data_acked());
+  const std::int64_t room = inflight_limit_ - inflight;
+  const std::int64_t n = std::min(client_buffered_, room);
+  if (n <= 0) return;
+  mptcp_->app_write(n);
+  client_->app_consume(n);
+  client_buffered_ -= n;
+}
+
+}  // namespace cronets::transport

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "transport/mptcp.h"
+#include "transport/tcp.h"
+
+namespace cronets::transport {
+
+/// The paper's concluding future-work feature (§IX): MPTCP proxies that let
+/// endpoints *without* MPTCP support benefit from CRONets. Deployed in
+/// pairs — one at each site (e.g. inside each branch office's gateway):
+///
+///   client --TCP--> MptcpIngressProxy ==MPTCP(direct+overlays)==>
+///       MptcpEgressProxy --TCP--> server
+///
+/// The ingress proxy terminates the client's plain TCP connection and
+/// forwards its bytes over an MPTCP connection (one subflow per available
+/// path); the egress proxy reassembles the stream and replays it to the
+/// destination over plain TCP. Flow control is end-to-end: the ingress
+/// stops reading from the client when too much data is in flight, and the
+/// egress paces MPTCP delivery into the server connection's backlog.
+///
+/// The data plane is client -> server (uploads / request streams); the
+/// reverse direction of the outer TCP connections carries only ACKs.
+class MptcpEgressProxy {
+ public:
+  MptcpEgressProxy(net::Host* host, net::TransportPort mptcp_port,
+                   net::IpAddr dest, net::TransportPort dest_port, TcpConfig cfg);
+
+  std::uint64_t relayed_bytes() const { return relayed_; }
+
+ private:
+  void pump();
+
+  net::Host* host_;
+  MptcpListener listener_;
+  TcpConnection forward_;
+  std::int64_t buffered_ = 0;
+  std::int64_t buffer_limit_;
+  std::uint64_t relayed_ = 0;
+  bool forward_up_ = false;
+};
+
+class MptcpIngressProxy {
+ public:
+  /// `remote_addrs`: the egress proxy's primary + per-overlay alias
+  /// addresses (same contract as MptcpConnection).
+  MptcpIngressProxy(net::Host* host, net::TransportPort listen_port,
+                    std::vector<net::IpAddr> remote_addrs,
+                    net::TransportPort egress_port, MptcpConfig cfg,
+                    std::int64_t inflight_limit = 2 * 1024 * 1024);
+  ~MptcpIngressProxy() { timer_.cancel(); }
+
+  MptcpConnection& mptcp() { return *mptcp_; }
+  std::uint64_t accepted_bytes() const { return accepted_; }
+
+ private:
+  void on_accept(TcpConnection& client);
+  void on_timer();
+  void pump();
+
+  net::Host* host_;
+  TcpListener listener_;
+  std::unique_ptr<MptcpConnection> mptcp_;
+  std::int64_t inflight_limit_;
+  sim::EventHandle timer_;
+  std::int64_t client_buffered_ = 0;
+  TcpConnection* client_ = nullptr;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace cronets::transport

@@ -1,0 +1,91 @@
+#include "transport/split_proxy.h"
+
+#include <algorithm>
+
+namespace cronets::transport {
+
+SplitTcpProxy::SplitTcpProxy(net::Host* host, net::TransportPort listen_port,
+                             net::IpAddr dest, net::TransportPort dest_port,
+                             TcpConfig cfg, std::int64_t buffer_limit)
+    : host_(host),
+      cfg_(cfg),
+      buffer_limit_(buffer_limit),
+      dest_(dest),
+      dest_port_(dest_port),
+      listener_(host, listen_port, cfg) {
+  listener_.set_on_accept([this](TcpConnection& a) { on_accept(a); });
+}
+
+void SplitTcpProxy::on_accept(TcpConnection& a) {
+  auto [daddr, dport] =
+      resolver_ ? resolver_(a.remote_addr()) : std::make_pair(dest_, dest_port_);
+
+  auto pair = std::make_unique<Pair>();
+  Pair* p = pair.get();
+  p->a = &a;
+  TcpConfig fwd_cfg = cfg_;
+  fwd_cfg.local_addr.reset();
+  fwd_cfg.remote_addr.reset();
+  p->b = std::make_unique<TcpConnection>(host_, next_port_++, daddr, dport, fwd_cfg);
+  pairs_.push_back(std::move(pair));
+
+  a.set_auto_consume(false);
+  p->b->set_auto_consume(false);
+
+  a.set_on_data([this, p](std::int64_t n, std::uint64_t) {
+    p->buffered_a2b += n;
+    pump(*p);
+  });
+  p->b->set_on_data([this, p](std::int64_t n, std::uint64_t) {
+    p->buffered_b2a += n;
+    pump(*p);
+  });
+  a.set_on_peer_closed([this, p] {
+    p->a_closed = true;
+    pump(*p);
+  });
+  p->b->set_on_peer_closed([this, p] {
+    p->b_closed = true;
+    pump(*p);
+  });
+  p->b->set_on_connected([this, p] { pump(*p); });
+  a.set_on_drain([this, p] { pump(*p); }, buffer_limit_ / 2);
+  p->b->set_on_drain([this, p] { pump(*p); }, buffer_limit_ / 2);
+
+  p->b->connect();
+}
+
+void SplitTcpProxy::pump(Pair& p) {
+  // A -> B relay, bounded by B's unsent backlog.
+  if (p.b->established() && !p.b_close_sent) {
+    const std::int64_t room = buffer_limit_ - p.b->unsent_backlog();
+    const std::int64_t n = std::min(p.buffered_a2b, room);
+    if (n > 0) {
+      p.b->app_write(n);
+      p.a->app_consume(n);
+      p.buffered_a2b -= n;
+      relayed_a2b_ += static_cast<std::uint64_t>(n);
+    }
+    if (p.a_closed && p.buffered_a2b == 0) {
+      p.b_close_sent = true;
+      p.b->close();
+    }
+  }
+  // B -> A relay.
+  if (p.a->established() && !p.a_close_sent) {
+    const std::int64_t room = buffer_limit_ - p.a->unsent_backlog();
+    const std::int64_t n = std::min(p.buffered_b2a, room);
+    if (n > 0) {
+      p.a->app_write(n);
+      p.b->app_consume(n);
+      p.buffered_b2a -= n;
+      relayed_b2a_ += static_cast<std::uint64_t>(n);
+    }
+    if (p.b_closed && p.buffered_b2a == 0) {
+      p.a_close_sent = true;
+      p.a->close();
+    }
+  }
+}
+
+}  // namespace cronets::transport

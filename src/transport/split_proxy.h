@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "transport/tcp.h"
+
+namespace cronets::transport {
+
+/// Split-TCP proxy (I-TCP style), the paper's "split-overlay" mode: the
+/// overlay node terminates the client's TCP connection and opens a second
+/// connection to the destination, relaying bytes in both directions with
+/// bounded buffering (receive-window backpressure when the far side is
+/// slower). Each leg runs its own congestion control over its own RTT,
+/// which is where the Mathis-equation gain comes from.
+class SplitTcpProxy {
+ public:
+  using DestResolver =
+      std::function<std::pair<net::IpAddr, net::TransportPort>(net::IpAddr peer)>;
+
+  SplitTcpProxy(net::Host* host, net::TransportPort listen_port, net::IpAddr dest,
+                net::TransportPort dest_port, TcpConfig cfg,
+                std::int64_t buffer_limit = 1 * 1024 * 1024);
+
+  /// Override the (static) destination per accepted peer.
+  void set_dest_resolver(DestResolver r) { resolver_ = std::move(r); }
+
+  std::uint64_t relayed_a2b() const { return relayed_a2b_; }
+  std::uint64_t relayed_b2a() const { return relayed_b2a_; }
+
+ private:
+  struct Pair {
+    TcpConnection* a = nullptr;              // accepted (client-facing) leg
+    std::unique_ptr<TcpConnection> b;        // forward (server-facing) leg
+    std::int64_t buffered_a2b = 0;           // delivered by A, not yet written to B
+    std::int64_t buffered_b2a = 0;
+    bool a_closed = false;                   // peer half-closed toward us
+    bool b_closed = false;
+    bool b_close_sent = false;
+    bool a_close_sent = false;
+  };
+
+  void on_accept(TcpConnection& a);
+  void pump(Pair& p);
+
+  net::Host* host_;
+  TcpConfig cfg_;
+  std::int64_t buffer_limit_;
+  net::IpAddr dest_;
+  net::TransportPort dest_port_;
+  DestResolver resolver_;
+  TcpListener listener_;
+  std::vector<std::unique_ptr<Pair>> pairs_;
+  net::TransportPort next_port_ = 30000;
+  std::uint64_t relayed_a2b_ = 0;
+  std::uint64_t relayed_b2a_ = 0;
+};
+
+}  // namespace cronets::transport

@@ -1,0 +1,878 @@
+#include "transport/tcp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cronets::transport {
+
+using net::IpAddr;
+using net::Packet;
+using net::TcpSegment;
+using sim::Time;
+
+// Sequence-space convention: the SYN occupies sequence 0, application payload
+// byte i lives at sequence 1+i, and the FIN occupies sequence 1+stream_len.
+// All counters below (snd_una_, snd_nxt_, rcv_nxt_, stream_end_) are in this
+// sequence space; stream_end_ = 1 + bytes written by the app.
+
+TcpConnection::TcpConnection(net::Host* host, net::TransportPort local_port,
+                             IpAddr remote, net::TransportPort remote_port,
+                             TcpConfig cfg)
+    : host_(host),
+      local_port_(local_port),
+      local_addr_(cfg.local_addr.value_or(host->addr())),
+      remote_(cfg.remote_addr.value_or(remote)),
+      remote_port_(remote_port),
+      cfg_(cfg),
+      cc_(cfg.cc(cfg.mss)) {
+  stream_end_ = 1;
+  rto_ = cfg.rto_initial;
+}
+
+TcpConnection::~TcpConnection() {
+  rto_timer_.cancel();
+  delack_timer_.cancel();
+  persist_timer_.cancel();
+  tlp_timer_.cancel();
+  if (owns_port_binding_) host_->unbind(local_port_);
+}
+
+void TcpConnection::connect() {
+  assert(state_ == State::kClosed);
+  host_->bind(local_port_, this);
+  owns_port_binding_ = true;
+  state_ = State::kSynSent;
+  syn_sent_ = true;
+  send_segment(/*seq=*/0, /*payload=*/0, /*syn=*/true, /*fin=*/false,
+               /*force_ack=*/false);
+  snd_nxt_ = 1;
+  snd_max_ = 1;
+  arm_rto();
+}
+
+void TcpConnection::accept_syn(const Packet& syn) {
+  assert(state_ == State::kClosed);
+  assert(syn.tcp().syn);
+  state_ = State::kSynReceived;
+  local_addr_ = syn.outer().dst;  // reply from whatever address was targeted
+  peer_syn_seen_ = true;
+  rcv_nxt_ = 1;
+  mp_capable_ = syn.tcp().mp_capable;
+  mp_token_ = syn.tcp().mp_token;
+  subflow_id_ = syn.tcp().subflow_id;
+  last_ts_for_echo_ = syn.tcp().ts_val;
+  syn_sent_ = true;
+  send_segment(/*seq=*/0, /*payload=*/0, /*syn=*/true, /*fin=*/false);
+  snd_nxt_ = 1;
+  snd_max_ = 1;
+  arm_rto();
+}
+
+void TcpConnection::app_write(std::int64_t bytes) {
+  assert(bytes >= 0);
+  assert(!fin_pending_ && "app_write after close()");
+  stream_end_ += static_cast<std::uint64_t>(bytes);
+  try_send();
+}
+
+void TcpConnection::close() {
+  fin_pending_ = true;
+  try_send();
+}
+
+void TcpConnection::app_consume(std::int64_t bytes) {
+  assert(!auto_consume_);
+  const bool was_closed = advertised_window() < cfg_.mss;
+  unconsumed_ = std::max<std::int64_t>(0, unconsumed_ - bytes);
+  if (was_closed && advertised_window() >= cfg_.mss && state_ == State::kEstablished) {
+    send_pure_ack();  // window update
+  }
+}
+
+void TcpConnection::set_on_drain(std::function<void()> cb, std::int64_t low_watermark) {
+  on_drain_ = std::move(cb);
+  drain_watermark_ = low_watermark;
+}
+
+std::int64_t TcpConnection::advertised_window() const {
+  return std::max<std::int64_t>(0, cfg_.rcv_buf - ooo_bytes_ - unconsumed_);
+}
+
+std::vector<std::pair<std::uint64_t, std::int64_t>> TcpConnection::unacked_dss() const {
+  std::vector<std::pair<std::uint64_t, std::int64_t>> out;
+  for (const auto& r : dss_map_) {
+    if (!r.acked) out.emplace_back(r.dseq, r.len);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ receive
+
+void TcpConnection::on_packet(const Packet& pkt) {
+  if (state_ == State::kDone || failed_) return;
+  ++stats_.segs_received;
+  const TcpSegment& seg = pkt.tcp();
+
+  if (seg.rst) {
+    fail_connection();
+    return;
+  }
+
+  const std::int64_t prev_rwnd = peer_rwnd_;
+  peer_rwnd_ = static_cast<std::int64_t>(seg.rcv_wnd);
+  if (seg.payload > 0 || seg.syn || seg.fin) last_ts_for_echo_ = seg.ts_val;
+
+  if (seg.syn) {
+    if (state_ == State::kSynSent) {
+      // SYN|ACK from the server.
+      peer_syn_seen_ = true;
+      rcv_nxt_ = 1;
+    } else if (state_ == State::kSynReceived || state_ == State::kEstablished) {
+      // Duplicate SYN (our SYN|ACK was lost): re-ack below.
+      if (!seg.has_ack) {
+        send_pure_ack();
+        return;
+      }
+    }
+  }
+
+  if (seg.has_ack) {
+    const bool new_sack_info = merge_sack(seg);
+    handle_ack(seg, prev_rwnd, new_sack_info);
+  }
+
+  if (seg.payload > 0) {
+    handle_data(seg);
+  } else if (seg.fin) {
+    peer_fin_seen_ = true;
+    peer_fin_seq_ = seg.seq;
+    if (rcv_nxt_ == peer_fin_seq_) {
+      ++rcv_nxt_;
+      send_pure_ack();
+      if (on_peer_closed_) on_peer_closed_();
+      maybe_finish();
+    } else {
+      send_pure_ack();
+    }
+  } else if (seg.syn && state_ == State::kEstablished && !seg.has_ack) {
+    send_pure_ack();
+  }
+
+  if (seg.win_probe) send_pure_ack();
+
+  // A pure window update can unblock the sender.
+  if (peer_rwnd_ > prev_rwnd) try_send();
+}
+
+void TcpConnection::handle_ack(const TcpSegment& seg, std::int64_t prev_rwnd,
+                               bool new_sack_info) {
+  const Time now = simv()->now();
+
+  if (seg.ack > snd_max_) return;  // acks data we never sent; ignore
+
+  if (seg.ack > snd_una_) {
+    std::int64_t newly = static_cast<std::int64_t>(seg.ack - snd_una_);
+    // Discount the virtual SYN/FIN bytes from payload accounting.
+    std::int64_t payload_acked = newly;
+    if (!syn_acked_ && seg.ack >= 1) {
+      syn_acked_ = true;
+      --payload_acked;
+    }
+    if (fin_sent_ && !fin_acked_ && seg.ack >= stream_end_ + 1) {
+      fin_acked_ = true;
+      --payload_acked;
+    }
+    snd_una_ = seg.ack;
+    consecutive_rtos_ = 0;
+    stats_.bytes_acked += static_cast<std::uint64_t>(std::max<std::int64_t>(0, payload_acked));
+
+    // RTT sample from the echoed timestamp.
+    if (seg.ts_echo != Time{}) record_rtt(now - seg.ts_echo);
+
+    // Notify the MPTCP provider of data-level progress and prune the map.
+    if (provider_ && !dss_map_.empty()) {
+      const std::uint64_t acked_payload_end = std::min(snd_una_, stream_end_);
+      for (auto& r : dss_map_) {
+        if (!r.acked && r.sseq + static_cast<std::uint64_t>(r.len) <= acked_payload_end) {
+          r.acked = true;
+          provider_->on_dss_acked(r.dseq, r.len);
+        }
+      }
+      while (!dss_map_.empty() && dss_map_.front().acked) {
+        dss_map_.erase(dss_map_.begin());
+      }
+    }
+
+    // Drop scoreboard entries the cumulative ack made redundant.
+    while (!sacked_.empty() && sacked_.begin()->second <= snd_una_) {
+      sacked_.erase(sacked_.begin());
+    }
+    if (!sacked_.empty() && sacked_.begin()->first < snd_una_) {
+      const std::uint64_t end = sacked_.begin()->second;
+      sacked_.erase(sacked_.begin());
+      sacked_[snd_una_] = end;
+    }
+
+    if (in_recovery_) {
+      update_recovery_pipe();
+      if (snd_una_ >= recover_) {
+        in_recovery_ = false;
+        dup_ack_count_ = 0;
+      } else {
+        // Partial ack: repair holes as the recovery pipe drains.
+        retx_cursor_ = std::max(retx_cursor_, snd_una_);
+        repair_holes();
+      }
+    } else {
+      dup_ack_count_ = 0;
+      if (payload_acked > 0 || seg.ack == 1) {
+        cc_->on_ack(std::max<std::int64_t>(payload_acked, 0), srtt_, now);
+      }
+    }
+
+    // State transitions.
+    if (state_ == State::kSynSent && syn_acked_ && peer_syn_seen_) {
+      state_ = State::kEstablished;
+      send_pure_ack();
+      if (on_connected_) on_connected_();
+    } else if (state_ == State::kSynReceived && syn_acked_) {
+      state_ = State::kEstablished;
+      if (on_connected_) on_connected_();
+    }
+
+    // After a rewind (go-back-N) the ack may land beyond snd_nxt_; resume
+    // sending from there instead of re-sending already-received data.
+    if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+    if (snd_max_ > snd_una_) {
+      arm_rto();
+      arm_tlp();
+    } else {
+      rto_timer_.cancel();
+      tlp_timer_.cancel();
+      rto_ = std::max(cfg_.rto_initial, srtt_ * 2);
+    }
+
+    check_drain();
+    try_send();
+  } else if (seg.ack == snd_una_ && !seg.syn && seg.payload == 0 &&
+             snd_max_ > snd_una_ &&
+             // RFC 6675: only ACKs that report NEW data at the receiver
+             // count as duplicates — stale repairs arriving after an RTO
+             // produce ACKs with no new SACK info and must not trigger a
+             // fresh (tiny-window) recovery.
+             new_sack_info &&
+             // Out-of-order buffering at the receiver legitimately shrinks
+             // the advertised window, so only a window *increase* (a pure
+             // window update) disqualifies a duplicate ACK.
+             static_cast<std::int64_t>(seg.rcv_wnd) <= prev_rwnd) {
+    ++dup_ack_count_;
+    ++stats_.dup_acks;
+    if (dup_ack_count_ == 3 && !in_recovery_ && snd_una_ > recover_) {
+      // RFC 6582 "careful" variant: while still repairing a window that
+      // already cost us an RTO or recovery (snd_una_ <= recover_), more
+      // duplicate ACKs must not trigger another window reduction.
+      in_recovery_ = true;
+      recover_ = snd_max_;
+      retx_cursor_ = snd_una_;
+      recovery_out_ = 0;
+      recovery_covered_ = snd_una_ + static_cast<std::uint64_t>(sacked_bytes_above_una());
+      cc_->on_loss_event(now);
+      ++stats_.fast_retx_count;
+      if (getenv("TCP_DEBUG")) fprintf(stderr, "[%.3f] FR enter una=%llu recover=%llu cwnd=%.0f\n", now.to_seconds(), (unsigned long long)snd_una_, (unsigned long long)recover_, cc_->cwnd());
+      if (!retransmit_next_hole()) retransmit_one();
+      arm_rto();
+    } else if (dup_ack_count_ > 3 && in_recovery_) {
+      // Every further dup ack signals one more segment left the network.
+      update_recovery_pipe();
+      repair_holes();
+    }
+  }
+
+  maybe_finish();
+}
+
+void TcpConnection::maybe_finish() {
+  // Teardown: our FIN acked; done once the peer's FIN has also arrived.
+  if (!fin_acked_ || state_ == State::kDone) return;
+  if (peer_fin_seen_ && rcv_nxt_ > peer_fin_seq_) {
+    state_ = State::kDone;
+    rto_timer_.cancel();
+    delack_timer_.cancel();
+    persist_timer_.cancel();
+    tlp_timer_.cancel();
+    if (on_closed_) on_closed_();
+  } else {
+    state_ = State::kFinWait;
+  }
+}
+
+void TcpConnection::handle_data(const TcpSegment& seg) {
+  std::uint64_t seq = seg.seq;
+  std::int64_t len = seg.payload;
+  std::uint64_t dseq = seg.dss_seq;
+  const bool has_dss = seg.dss_len > 0;
+
+  if (seq + static_cast<std::uint64_t>(len) <= rcv_nxt_) {
+    // Entirely duplicate: re-ack immediately.
+    maybe_ack_received_segment(/*out_of_order=*/true);
+    return;
+  }
+  if (seq < rcv_nxt_) {
+    const std::uint64_t skip = rcv_nxt_ - seq;
+    seq += skip;
+    len -= static_cast<std::int64_t>(skip);
+    dseq += skip;
+  }
+
+  if (seq == rcv_nxt_) {
+    rcv_nxt_ += static_cast<std::uint64_t>(len);
+    stats_.bytes_delivered += static_cast<std::uint64_t>(len);
+    if (!auto_consume_) unconsumed_ += len;
+    if (on_data_) on_data_(len, dseq);
+    deliver_in_order();
+    // FIN that was waiting for this data.
+    if (peer_fin_seen_ && rcv_nxt_ == peer_fin_seq_) {
+      ++rcv_nxt_;
+      send_pure_ack();
+      if (on_peer_closed_) on_peer_closed_();
+      return;
+    }
+    maybe_ack_received_segment(/*out_of_order=*/!ooo_.empty());
+  } else {
+    // Out of order: buffer and send an immediate duplicate ACK.
+    auto it = ooo_.find(seq);
+    if (it == ooo_.end()) {
+      ooo_[seq] = OooSegment{seq, len, dseq, has_dss};
+      ooo_bytes_ += len;
+    }
+    maybe_ack_received_segment(/*out_of_order=*/true);
+  }
+}
+
+void TcpConnection::deliver_in_order() {
+  auto it = ooo_.begin();
+  while (it != ooo_.end() && it->second.seq <= rcv_nxt_) {
+    OooSegment s = it->second;
+    it = ooo_.erase(it);
+    ooo_bytes_ -= s.len;
+    if (s.seq + static_cast<std::uint64_t>(s.len) <= rcv_nxt_) continue;
+    if (s.seq < rcv_nxt_) {
+      const std::uint64_t skip = rcv_nxt_ - s.seq;
+      s.seq += skip;
+      s.len -= static_cast<std::int64_t>(skip);
+      s.dseq += skip;
+    }
+    rcv_nxt_ += static_cast<std::uint64_t>(s.len);
+    stats_.bytes_delivered += static_cast<std::uint64_t>(s.len);
+    if (!auto_consume_) unconsumed_ += s.len;
+    if (on_data_) on_data_(s.len, s.dseq);
+    it = ooo_.begin();  // restart: delivery may have bridged to the next hole
+  }
+}
+
+void TcpConnection::maybe_ack_received_segment(bool out_of_order) {
+  ++unacked_segments_;
+  if (out_of_order || unacked_segments_ >= cfg_.delack_every) {
+    delack_timer_.cancel();
+    send_pure_ack();
+    return;
+  }
+  if (!delack_timer_.pending()) {
+    delack_timer_ = simv()->schedule_in(cfg_.delack_timeout, [this] {
+      if (unacked_segments_ > 0) send_pure_ack();
+    });
+  }
+}
+
+// --------------------------------------------------------------------- send
+
+void TcpConnection::top_up_from_sources() {
+  if (infinite_source_) {
+    const std::uint64_t want = snd_nxt_ + 64 * static_cast<std::uint64_t>(cfg_.mss);
+    if (stream_end_ < want) stream_end_ = want;
+  }
+}
+
+std::optional<std::pair<std::uint64_t, std::int64_t>> TcpConnection::dss_for(
+    std::uint64_t seq, std::int64_t len) const {
+  // seq is in sequence space; payload byte offset is seq-1 == DssRange::sseq.
+  const std::uint64_t off = seq - 1;
+  for (const auto& r : dss_map_) {
+    if (off >= r.sseq && off < r.sseq + static_cast<std::uint64_t>(r.len)) {
+      const std::int64_t within = static_cast<std::int64_t>(off - r.sseq);
+      return std::make_pair(r.dseq + static_cast<std::uint64_t>(within),
+                            std::min(len, r.len - within));
+    }
+  }
+  return std::nullopt;
+}
+
+void TcpConnection::try_send() {
+  if (state_ != State::kEstablished && state_ != State::kSynReceived &&
+      state_ != State::kFinWait) {
+    return;
+  }
+  if (failed_) return;
+  top_up_from_sources();
+
+  const std::int64_t wnd =
+      std::min(static_cast<std::int64_t>(cc_->cwnd()), peer_rwnd_);
+  bool sent = false;
+
+  while (true) {
+    // Never (re)send bytes the peer already SACKed (matters after an RTO
+    // rewound snd_nxt_ below ranges the receiver holds).
+    if (!sacked_.empty()) {
+      auto it = sacked_.upper_bound(snd_nxt_);
+      if (it != sacked_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > snd_nxt_) {
+          snd_nxt_ = prev->second;
+          continue;
+        }
+      }
+    }
+    const std::int64_t in_flight = static_cast<std::int64_t>(snd_nxt_ - snd_una_);
+    std::int64_t space = wnd - in_flight;
+    if (space <= 0) break;
+
+    // Pull MPTCP data on demand.
+    std::int64_t avail = static_cast<std::int64_t>(stream_end_ - snd_nxt_);
+    if (avail <= 0 && provider_) {
+      std::uint64_t dseq = 0;
+      const std::int64_t granted = provider_->pull(cfg_.mss, &dseq, *this);
+      if (granted > 0) {
+        dss_map_.push_back(DssRange{stream_end_ - 1, dseq, granted});
+        stream_end_ += static_cast<std::uint64_t>(granted);
+        avail = static_cast<std::int64_t>(stream_end_ - snd_nxt_);
+      }
+    }
+
+    std::int64_t len = std::min({cfg_.mss, avail, space});
+    if (len <= 0) break;
+    // Stop short of the next SACKed range.
+    if (!sacked_.empty()) {
+      auto nxt = sacked_.lower_bound(snd_nxt_ + 1);
+      if (nxt != sacked_.end() &&
+          nxt->first < snd_nxt_ + static_cast<std::uint64_t>(len)) {
+        len = static_cast<std::int64_t>(nxt->first - snd_nxt_);
+      }
+    }
+    // Segments must not straddle a DSS mapping boundary.
+    if (provider_) {
+      if (auto d = dss_for(snd_nxt_, len)) len = d->second;
+    }
+    const bool last_chunk =
+        fin_pending_ && (snd_nxt_ + static_cast<std::uint64_t>(len) == stream_end_);
+    send_segment(snd_nxt_, len, /*syn=*/false, /*fin=*/last_chunk && !fin_sent_);
+    snd_nxt_ += static_cast<std::uint64_t>(len);
+    if (last_chunk && !fin_sent_) {
+      fin_sent_ = true;
+      ++snd_nxt_;  // the FIN's virtual byte
+    }
+    snd_max_ = std::max(snd_max_, snd_nxt_);
+    sent = true;
+  }
+
+  // Data-less FIN.
+  if (fin_pending_ && !fin_sent_ && snd_nxt_ == stream_end_ &&
+      wnd > static_cast<std::int64_t>(snd_nxt_ - snd_una_)) {
+    send_segment(snd_nxt_, 0, /*syn=*/false, /*fin=*/true);
+    fin_sent_ = true;
+    ++snd_nxt_;
+    snd_max_ = std::max(snd_max_, snd_nxt_);
+    sent = true;
+  }
+
+  // Arm (but never restart) the retransmission timer: restarting on every
+  // send would let a stuck recovery suppress its own RTO forever.
+  if ((sent || snd_max_ > snd_una_) && !rto_timer_.pending()) arm_rto();
+  if (sent) arm_tlp();
+  if (peer_rwnd_ <= 0 &&
+      (stream_end_ > snd_nxt_ || (fin_pending_ && !fin_sent_))) {
+    arm_persist();
+  }
+}
+
+void TcpConnection::send_segment(std::uint64_t seq, std::int64_t payload, bool syn,
+                                 bool fin, bool force_ack, bool probe) {
+  Packet pkt;
+  pkt.headers.push_back(net::Ipv4Header{
+      .src = local_addr_, .dst = remote_, .proto = net::IpProto::kTcp});
+  TcpSegment seg;
+  seg.sport = local_port_;
+  seg.dport = remote_port_;
+  seg.seq = seq;
+  seg.payload = payload;
+  seg.syn = syn;
+  seg.fin = fin;
+  seg.win_probe = probe;
+  seg.has_ack = force_ack && (peer_syn_seen_ || state_ != State::kClosed);
+  if (syn && state_ == State::kSynSent) seg.has_ack = false;
+  seg.ack = rcv_nxt_;
+  seg.rcv_wnd = static_cast<std::uint32_t>(
+      std::min<std::int64_t>(advertised_window(), 0xffffffffLL));
+  seg.ts_val = simv()->now();
+  seg.ts_echo = last_ts_for_echo_;
+  if (seg.has_ack) fill_sack_blocks(&seg);
+  seg.mp_capable = mp_capable_;
+  seg.mp_token = mp_token_;
+  seg.subflow_id = subflow_id_;
+  if (payload > 0 && provider_) {
+    if (auto d = dss_for(seq, payload)) {
+      seg.dss_seq = d->first;
+      seg.dss_len = payload;
+    }
+  }
+  pkt.body = seg;
+
+  ++stats_.segs_sent;
+  if (payload > 0) {
+    stats_.bytes_sent += static_cast<std::uint64_t>(payload);
+    if (seq < max_seq_sent_) {
+      // Sending below the high-water mark == retransmission.
+      stats_.bytes_retransmitted += static_cast<std::uint64_t>(payload);
+      ++stats_.segs_retransmitted;
+    }
+    max_seq_sent_ = std::max(max_seq_sent_, seq + static_cast<std::uint64_t>(payload));
+  }
+  if (unacked_segments_ > 0 && seg.has_ack) {
+    unacked_segments_ = 0;
+    delack_timer_.cancel();
+  }
+  host_->send(std::move(pkt));
+}
+
+void TcpConnection::send_pure_ack() {
+  unacked_segments_ = 0;
+  delack_timer_.cancel();
+  Packet pkt;
+  pkt.headers.push_back(net::Ipv4Header{
+      .src = local_addr_, .dst = remote_, .proto = net::IpProto::kTcp});
+  TcpSegment seg;
+  seg.sport = local_port_;
+  seg.dport = remote_port_;
+  seg.seq = snd_nxt_;
+  seg.payload = 0;
+  seg.has_ack = true;
+  seg.ack = rcv_nxt_;
+  seg.rcv_wnd = static_cast<std::uint32_t>(
+      std::min<std::int64_t>(advertised_window(), 0xffffffffLL));
+  seg.ts_val = simv()->now();
+  seg.ts_echo = last_ts_for_echo_;
+  fill_sack_blocks(&seg);
+  seg.subflow_id = subflow_id_;
+  pkt.body = seg;
+  ++stats_.segs_sent;
+  host_->send(std::move(pkt));
+}
+
+bool TcpConnection::merge_sack(const net::TcpSegment& seg) {
+  bool changed = false;
+  for (const auto& [b0, e0] : seg.sack) {
+    std::uint64_t b = std::max(b0, snd_una_);
+    std::uint64_t e = e0;
+    if (e <= b) continue;
+    auto it = sacked_.upper_bound(b);
+    if (it != sacked_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= b) {
+        if (prev->first <= b && prev->second >= e) continue;  // fully known
+        b = prev->first;
+        e = std::max(e, prev->second);
+        it = sacked_.erase(prev);
+      }
+    }
+    while (it != sacked_.end() && it->first <= e) {
+      e = std::max(e, it->second);
+      it = sacked_.erase(it);
+    }
+    sacked_[b] = e;
+    changed = true;
+  }
+  return changed;
+}
+
+std::int64_t TcpConnection::sacked_bytes_above_una() const {
+  std::int64_t n = 0;
+  for (const auto& [b, e] : sacked_) {
+    if (e > snd_una_) n += static_cast<std::int64_t>(e - std::max(b, snd_una_));
+  }
+  return n;
+}
+
+bool TcpConnection::retransmit_next_hole() {
+  // A repair that is itself lost is recovered by the RTO (pre-RACK stacks
+  // behave the same way); re-repairing on duplicate ACKs would spray
+  // spurious retransmissions whenever the tail keeps getting SACKed.
+  return try_hole_from(std::max(retx_cursor_, snd_una_));
+}
+
+bool TcpConnection::try_hole_from(std::uint64_t start) {
+  // Repair the first gap the peer's SACK blocks reveal, starting at the
+  // cursor so each ack event repairs a fresh hole.
+  const std::uint64_t payload_limit =
+      std::min(recover_, std::min(stream_end_, snd_max_));
+  std::uint64_t seq = start;
+  while (seq < payload_limit) {
+    auto it = sacked_.upper_bound(seq);
+    if (it != sacked_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > seq) {
+        seq = prev->second;  // inside a sacked run: skip past it
+        continue;
+      }
+    }
+    if (sacked_.empty() || it == sacked_.end()) {
+      // No SACK information above seq: only the very first hole (at
+      // snd_una_) is known to be lost; further repairs wait for partial
+      // acks or more SACK blocks.
+      if (seq != snd_una_) return false;
+    }
+    const std::uint64_t next_sacked =
+        (it != sacked_.end()) ? it->first : payload_limit;
+    std::int64_t len = static_cast<std::int64_t>(
+        std::min({static_cast<std::uint64_t>(cfg_.mss) + seq, next_sacked,
+                  payload_limit}) -
+        seq);
+    if (len <= 0) return false;
+    if (provider_) {
+      if (auto d = dss_for(seq, len)) len = d->second;
+    }
+    const bool is_fin =
+        fin_sent_ && (seq + static_cast<std::uint64_t>(len) == stream_end_);
+    send_segment(seq, len, /*syn=*/false, is_fin);
+    retx_cursor_ = seq + static_cast<std::uint64_t>(len);
+    recovery_out_ += len;
+    return true;
+  }
+  return false;
+}
+
+void TcpConnection::update_recovery_pipe() {
+  // "Covered" bytes (cumulatively acked or SACKed) only grow during a
+  // recovery episode; growth means repairs or stragglers arrived and the
+  // pipe drained by that much.
+  const std::uint64_t covered =
+      snd_una_ + static_cast<std::uint64_t>(sacked_bytes_above_una());
+  if (covered > recovery_covered_) {
+    recovery_out_ = std::max<std::int64_t>(
+        0, recovery_out_ - static_cast<std::int64_t>(covered - recovery_covered_));
+    recovery_covered_ = covered;
+  }
+}
+
+void TcpConnection::repair_holes() {
+  const std::int64_t wnd =
+      std::min(static_cast<std::int64_t>(cc_->cwnd()), peer_rwnd_);
+  // Keep per-event bursts modest: the ack clock paces recovery, exactly as
+  // a real SACK sender's pipe algorithm does.
+  int burst = 16;
+  while (burst-- > 0 && recovery_out_ + cfg_.mss <= wnd) {
+    if (!retransmit_next_hole()) {
+      try_send();  // no repairable hole: recovery may forward new data
+      break;
+    }
+  }
+}
+
+void TcpConnection::fill_sack_blocks(net::TcpSegment* seg) const {
+  // Report up to 3 merged out-of-order runs, lowest first.
+  auto it = ooo_.begin();
+  while (it != ooo_.end() && seg->sack.size() < 3) {
+    std::uint64_t b = it->second.seq;
+    std::uint64_t e = b + static_cast<std::uint64_t>(it->second.len);
+    ++it;
+    while (it != ooo_.end() && it->second.seq <= e) {
+      e = std::max(e, it->second.seq + static_cast<std::uint64_t>(it->second.len));
+      ++it;
+    }
+    seg->sack.emplace_back(b, e);
+  }
+}
+
+void TcpConnection::retransmit_one() {
+  if (snd_una_ >= snd_max_) return;
+  if (snd_una_ == 0 && !syn_acked_) {
+    // Retransmit the SYN (or SYN|ACK).
+    send_segment(0, 0, /*syn=*/true, /*fin=*/false,
+                 /*force_ack=*/state_ != State::kSynSent);
+    return;
+  }
+  if (fin_sent_ && snd_una_ == stream_end_ && !fin_acked_) {
+    send_segment(snd_una_, 0, /*syn=*/false, /*fin=*/true);
+    return;
+  }
+  std::int64_t len = std::min<std::int64_t>(
+      cfg_.mss, static_cast<std::int64_t>(std::min(stream_end_, snd_max_) - snd_una_));
+  if (len <= 0) return;
+  if (provider_) {
+    if (auto d = dss_for(snd_una_, len)) len = d->second;
+  }
+  const bool is_fin =
+      fin_sent_ && (snd_una_ + static_cast<std::uint64_t>(len) == stream_end_);
+  send_segment(snd_una_, len, /*syn=*/false, /*fin=*/is_fin);
+}
+
+// ------------------------------------------------------------------- timers
+
+void TcpConnection::record_rtt(Time sample) {
+  if (sample < Time::zero()) return;
+  if (min_rtt_ == Time{} || sample < min_rtt_) min_rtt_ = sample;
+  // HyStart-style delay-based slow-start exit: a clearly inflated RTT means
+  // the bottleneck queue is filling; stop doubling before the cliff.
+  // Threshold follows Linux: clamp(min_rtt/8, 4ms, 16ms).
+  if (cc_->in_slow_start() && have_rtt_ &&
+      sample > min_rtt_ + std::clamp(min_rtt_ / 8, Time::milliseconds(4),
+                                     Time::milliseconds(16))) {
+    cc_->cap_slow_start();
+  }
+  if (!have_rtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    have_rtt_ = true;
+  } else {
+    const auto diff = (srtt_ > sample) ? (srtt_ - sample) : (sample - srtt_);
+    rttvar_ = Time{(3 * rttvar_.ns() + diff.ns()) / 4};
+    srtt_ = Time{(7 * srtt_.ns() + sample.ns()) / 8};
+  }
+  rto_ = std::clamp(srtt_ + rttvar_ * 4, cfg_.rto_min, cfg_.rto_max);
+  stats_.rtt_sample_sum_ms += sample.to_milliseconds();
+  ++stats_.rtt_sample_count;
+}
+
+void TcpConnection::arm_rto() {
+  rto_timer_.cancel();
+  rto_timer_ = simv()->schedule_in(rto_, [this] { on_rto(); });
+}
+
+void TcpConnection::on_rto() {
+  if (snd_una_ >= snd_max_ && !(syn_sent_ && !syn_acked_)) return;
+  ++consecutive_rtos_;
+  ++stats_.rto_count;
+  if (getenv("TCP_DEBUG")) fprintf(stderr, "[%.3f] RTO una=%llu max=%llu cwnd=%.0f rto=%.0fms\n", simv()->now().to_seconds(), (unsigned long long)snd_una_, (unsigned long long)snd_max_, cc_->cwnd(), rto_.to_milliseconds());
+  if (consecutive_rtos_ > cfg_.max_consecutive_rtos) {
+    fail_connection();
+    return;
+  }
+  cc_->on_timeout(simv()->now());
+  in_recovery_ = false;
+  dup_ack_count_ = 0;
+  recover_ = snd_max_;  // RFC 6582: no fast recovery until this window heals
+  // Keep the SACK scoreboard (like Linux): the go-back-N pass below skips
+  // ranges the receiver already holds.
+  retx_cursor_ = 0;
+  // Go-back-N: rewind and let try_send stream it out again.
+  snd_nxt_ = snd_una_;
+  if (fin_sent_ && !fin_acked_) fin_sent_ = false;
+  rto_ = std::min(rto_ * 2, cfg_.rto_max);
+  if (!syn_acked_) {
+    retransmit_one();
+    snd_nxt_ = 1;
+  } else {
+    try_send();
+  }
+  arm_rto();
+}
+
+void TcpConnection::arm_persist() {
+  if (persist_timer_.pending()) return;
+  persist_timer_ = simv()->schedule_in(cfg_.persist_interval, [this] {
+    if (failed_ || state_ == State::kDone) return;
+    if (peer_rwnd_ <= 0) {
+      send_segment(snd_nxt_, 0, false, false, /*force_ack=*/true, /*probe=*/true);
+      arm_persist();
+    }
+  });
+}
+
+void TcpConnection::arm_tlp() {
+  if (!cfg_.enable_tlp || in_recovery_) return;
+  tlp_timer_.cancel();
+  // PTO = max(2*SRTT, 10ms), and leave room below the RTO. Without an RTT
+  // estimate yet, probing early would be spurious — wait half an RTO.
+  Time pto = have_rtt_ ? std::max(srtt_ * 2, Time::milliseconds(10)) : rto_ / 2;
+  // With at most one segment outstanding the peer may legitimately hold
+  // its ACK for the delayed-ack timer — allow for it (Linux's WCDelAckT).
+  if (snd_max_ - snd_una_ <= static_cast<std::uint64_t>(cfg_.mss)) {
+    pto += cfg_.delack_timeout * 2;
+  }
+  if (pto >= rto_) return;
+  tlp_timer_ = simv()->schedule_in(pto, [this] { on_tlp(); });
+}
+
+void TcpConnection::on_tlp() {
+  // Probe only if data is still outstanding and nothing arrived meanwhile
+  // (the timer is cancelled/re-armed on every ack).
+  if (failed_ || state_ == State::kDone) return;
+  if (snd_una_ >= snd_max_ || in_recovery_) return;
+  // Re-send the tail segment: the last MSS (or less) below snd_max_,
+  // clamped to payload bytes.
+  const std::uint64_t payload_end = std::min(snd_max_, stream_end_);
+  if (payload_end <= snd_una_) return;
+  const std::uint64_t begin =
+      std::max(snd_una_, payload_end - std::min<std::uint64_t>(
+                                           payload_end - snd_una_,
+                                           static_cast<std::uint64_t>(cfg_.mss)));
+  std::int64_t len = static_cast<std::int64_t>(payload_end - begin);
+  if (provider_) {
+    if (auto d = dss_for(begin, len)) len = d->second;
+  }
+  if (len <= 0) return;
+  ++stats_.tlp_probes;
+  const bool is_fin = fin_sent_ && (begin + static_cast<std::uint64_t>(len) == stream_end_);
+  send_segment(begin, len, /*syn=*/false, is_fin);
+  // One probe per silence period; the RTO remains the backstop.
+}
+
+void TcpConnection::fail_connection() {
+  if (failed_) return;
+  failed_ = true;
+  state_ = State::kDone;
+  rto_timer_.cancel();
+  delack_timer_.cancel();
+  persist_timer_.cancel();
+  tlp_timer_.cancel();
+  if (on_failed_) on_failed_();
+}
+
+void TcpConnection::check_drain() {
+  if (!on_drain_) return;
+  if (unsent_backlog() <= drain_watermark_) on_drain_();
+}
+
+// ----------------------------------------------------------------- listener
+
+TcpListener::TcpListener(net::Host* host, net::TransportPort port, TcpConfig cfg)
+    : host_(host), port_(port), cfg_(cfg) {
+  host_->bind(port_, this);
+}
+
+TcpListener::~TcpListener() { host_->unbind(port_); }
+
+void TcpListener::on_packet(const Packet& pkt) {
+  const TcpSegment& seg = pkt.tcp();
+  const auto key = std::make_pair(pkt.outer().src.value(), seg.sport);
+  auto it = by_peer_.find(key);
+  if (it != by_peer_.end()) {
+    it->second->on_packet(pkt);
+    return;
+  }
+  if (!seg.syn || seg.has_ack) return;  // stray segment for a dead connection
+
+  auto conn = std::make_unique<TcpConnection>(host_, port_, pkt.outer().src,
+                                              seg.sport, cfg_);
+  TcpConnection* raw = conn.get();
+  by_peer_[key] = raw;
+  connections_.push_back(std::move(conn));
+  // Process the SYN before handing the connection to the acceptor so that
+  // SYN-borne attributes (MPTCP token, subflow id, target alias) are
+  // already populated. No data can arrive before the acceptor returns:
+  // the peer must first see our SYN|ACK.
+  raw->accept_syn(pkt);
+  if (on_accept_) on_accept_(*raw);
+}
+
+}  // namespace cronets::transport

@@ -1,0 +1,323 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/host.h"
+#include "net/packet.h"
+#include "net/types.h"
+#include "sim/simulator.h"
+#include "transport/congestion.h"
+
+namespace cronets::transport {
+
+struct TcpConfig {
+  std::int64_t mss = net::kMss;
+  std::int64_t rcv_buf = 4 * 1024 * 1024;
+  CcFactory cc = CubicCc::factory();
+  sim::Time rto_min = sim::Time::milliseconds(200);
+  sim::Time rto_max = sim::Time::seconds(60);
+  sim::Time rto_initial = sim::Time::seconds(1);
+  sim::Time delack_timeout = sim::Time::milliseconds(40);
+  int delack_every = 2;
+  sim::Time persist_interval = sim::Time::milliseconds(500);
+  /// Tail Loss Probe (Linux 3.10+): after ~2 SRTT of ACK silence with data
+  /// outstanding, re-send the tail segment to convert a would-be RTO stall
+  /// into fast recovery.
+  bool enable_tlp = true;
+  /// Give up on the connection after this many consecutive RTOs (used by
+  /// MPTCP to declare a subflow dead and reinject its data elsewhere).
+  int max_consecutive_rtos = 12;
+  /// Optional local address override (defaults to the host address);
+  /// MPTCP subflows use alias addresses here.
+  std::optional<net::IpAddr> local_addr;
+  /// Optional remote address override for path steering.
+  std::optional<net::IpAddr> remote_addr;
+};
+
+struct TcpStats {
+  std::uint64_t segs_sent = 0;
+  std::uint64_t segs_retransmitted = 0;
+  std::uint64_t segs_received = 0;
+  std::uint64_t bytes_sent = 0;         // payload bytes put on the wire (incl. retx)
+  std::uint64_t bytes_retransmitted = 0;
+  std::uint64_t bytes_acked = 0;        // unique payload bytes cumulatively acked
+  std::uint64_t bytes_delivered = 0;    // in-order payload delivered to the app
+  std::uint64_t rto_count = 0;
+  std::uint64_t fast_retx_count = 0;
+  std::uint64_t tlp_probes = 0;
+  std::uint64_t dup_acks = 0;
+  double rtt_sample_sum_ms = 0.0;
+  std::uint64_t rtt_sample_count = 0;
+
+  double avg_rtt_ms() const {
+    return rtt_sample_count ? rtt_sample_sum_ms / static_cast<double>(rtt_sample_count)
+                            : 0.0;
+  }
+  /// tstat-style retransmission rate: retransmitted bytes / sent bytes.
+  double retransmission_rate() const {
+    return bytes_sent ? static_cast<double>(bytes_retransmitted) /
+                            static_cast<double>(bytes_sent)
+                      : 0.0;
+  }
+};
+
+/// Supplies connection-level (MPTCP) data to a subflow and learns which
+/// data-level ranges made it to the peer.
+class TcpConnection;
+
+class DataProvider {
+ public:
+  virtual ~DataProvider() = default;
+  /// Hand out up to `max_bytes` of connection-level data to subflow `who`.
+  /// Returns the number of bytes granted (0 if none available — e.g. the
+  /// scheduler is penalizing an unhealthy subflow) and sets `*dseq` to the
+  /// data sequence of the first byte.
+  virtual std::int64_t pull(std::int64_t max_bytes, std::uint64_t* dseq,
+                            const TcpConnection& who) = 0;
+  /// A pulled range has been cumulatively acknowledged at subflow level.
+  virtual void on_dss_acked(std::uint64_t dseq, std::int64_t len) = 0;
+};
+
+/// A NewReno-structured TCP connection with pluggable congestion control,
+/// timestamp-based RTT sampling, delayed ACKs, zero-window persist probes
+/// and optional MPTCP data-sequence mapping.
+///
+/// Data transfer is full duplex: both sides may app_write(). Payload bytes
+/// are simulated by length only; sequence arithmetic is exact.
+class TcpConnection : public net::SegmentSink {
+ public:
+  enum class State { kClosed, kSynSent, kSynReceived, kEstablished, kFinWait, kDone };
+
+  using ConnectedCallback = std::function<void()>;
+  /// (bytes, dss_seq) — dss_seq only meaningful when the peer sent DSS info.
+  using DataCallback = std::function<void(std::int64_t, std::uint64_t)>;
+  using ClosedCallback = std::function<void()>;
+  using FailedCallback = std::function<void()>;
+
+  /// Active open: call connect() afterwards.
+  TcpConnection(net::Host* host, net::TransportPort local_port, net::IpAddr remote,
+                net::TransportPort remote_port, TcpConfig cfg);
+  ~TcpConnection() override;
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Start the three-way handshake (sends SYN).
+  void connect();
+  /// Passive open from a listener-dispatched SYN.
+  void accept_syn(const net::Packet& syn);
+
+  /// Queue `bytes` of application data for transmission.
+  void app_write(std::int64_t bytes);
+  /// Endless source: the send buffer refills itself (iperf-style).
+  void set_infinite_source(bool on) { infinite_source_ = on; }
+  /// Half-close after everything queued so far has been sent.
+  void close();
+
+  /// Receiver-side flow control: if auto-consume is off, the app must
+  /// consume delivered bytes or the advertised window shrinks (used by the
+  /// split-TCP proxy for backpressure).
+  void set_auto_consume(bool on) { auto_consume_ = on; }
+  void app_consume(std::int64_t bytes);
+
+  void set_on_connected(ConnectedCallback cb) { on_connected_ = std::move(cb); }
+  void set_on_data(DataCallback cb) { on_data_ = std::move(cb); }
+  void set_on_peer_closed(ClosedCallback cb) { on_peer_closed_ = std::move(cb); }
+  void set_on_closed(ClosedCallback cb) { on_closed_ = std::move(cb); }
+  void set_on_failed(FailedCallback cb) { on_failed_ = std::move(cb); }
+  /// Fires whenever send-buffer backlog drops below `low_watermark` bytes.
+  void set_on_drain(std::function<void()> cb, std::int64_t low_watermark);
+
+  // --- MPTCP hooks ---
+  void set_data_provider(DataProvider* p) { provider_ = p; }
+  void set_subflow_id(int id) { subflow_id_ = id; }
+  void set_mp_capable(bool on) { mp_capable_ = on; }
+  void set_mp_token(std::uint32_t token) { mp_token_ = token; }
+  /// DSS ranges handed to this subflow but not yet subflow-acked
+  /// (reinjection candidates when the subflow dies).
+  std::vector<std::pair<std::uint64_t, std::int64_t>> unacked_dss() const;
+  /// Poke the sender (MPTCP calls this when new connection data appears).
+  void notify_data_available() { try_send(); }
+
+  // --- Introspection ---
+  State state() const { return state_; }
+  bool established() const { return state_ == State::kEstablished; }
+  bool failed() const { return failed_; }
+  const TcpStats& stats() const { return stats_; }
+  sim::Time srtt() const { return srtt_; }
+  const CongestionControl& cc() const { return *cc_; }
+  std::int64_t unsent_backlog() const {
+    return stream_end_ > snd_nxt_data()
+               ? static_cast<std::int64_t>(stream_end_ - snd_nxt_data())
+               : 0;
+  }
+  net::IpAddr local_addr() const { return local_addr_; }
+  net::IpAddr remote_addr() const { return remote_; }
+  net::TransportPort local_port() const { return local_port_; }
+  net::TransportPort remote_port() const { return remote_port_; }
+  std::uint32_t mp_token() const { return mp_token_; }
+  /// Consecutive RTOs without forward progress (0 when healthy); the MPTCP
+  /// scheduler uses this to stop feeding fresh data to a struggling subflow.
+  int consecutive_rtos() const { return consecutive_rtos_; }
+
+  void on_packet(const net::Packet& pkt) override;
+
+ private:
+  struct DssRange {
+    std::uint64_t sseq;  // subflow stream offset of first byte
+    std::uint64_t dseq;  // connection-level offset
+    std::int64_t len;
+    bool acked = false;
+  };
+  struct OooSegment {
+    std::uint64_t seq;
+    std::int64_t len;
+    std::uint64_t dseq;
+    bool has_dss;
+  };
+
+  sim::Simulator* simv() const { return host_->simulator(); }
+  std::uint64_t snd_nxt_data() const { return snd_nxt_; }
+
+  void handle_ack(const net::TcpSegment& seg, std::int64_t prev_rwnd,
+                  bool new_sack_info);
+  void maybe_finish();
+  void handle_data(const net::TcpSegment& seg);
+  void deliver_in_order();
+  void try_send();
+  void send_segment(std::uint64_t seq, std::int64_t payload, bool syn, bool fin,
+                    bool force_ack = true, bool probe = false);
+  void send_pure_ack();
+  void maybe_ack_received_segment(bool out_of_order);
+  void retransmit_one();
+  /// Merge the segment's SACK blocks; returns true if they added anything.
+  bool merge_sack(const net::TcpSegment& seg);
+  std::int64_t sacked_bytes_above_una() const;
+  /// Retransmit the first unsacked hole at/after retx_cursor_; returns
+  /// false when no hole remains below the recovery point.
+  bool retransmit_next_hole();
+  bool try_hole_from(std::uint64_t start);
+  /// Repair holes while the recovery pipe has room (RFC 6675 flavour).
+  void repair_holes();
+  void update_recovery_pipe();
+  void fill_sack_blocks(net::TcpSegment* seg) const;
+  void record_rtt(sim::Time sample);
+  void arm_rto();
+  void on_rto();
+  void arm_persist();
+  void arm_tlp();
+  void on_tlp();
+  void fail_connection();
+  void check_drain();
+  void top_up_from_sources();
+  std::int64_t advertised_window() const;
+  std::optional<std::pair<std::uint64_t, std::int64_t>> dss_for(std::uint64_t seq,
+                                                                std::int64_t len) const;
+
+  net::Host* host_;
+  net::TransportPort local_port_;
+  net::IpAddr local_addr_;
+  net::IpAddr remote_;
+  net::TransportPort remote_port_;
+  TcpConfig cfg_;
+  std::unique_ptr<CongestionControl> cc_;
+  bool owns_port_binding_ = false;
+
+  State state_ = State::kClosed;
+  bool failed_ = false;
+
+  // --- send side ---
+  std::uint64_t snd_una_ = 0;   // oldest unacked payload byte
+  std::uint64_t snd_nxt_ = 0;   // next payload byte to send
+  std::uint64_t snd_max_ = 0;   // highest sequence ever sent (survives rewinds)
+  std::uint64_t stream_end_ = 0;  // bytes written by the app (stream length)
+  bool syn_sent_ = false;
+  bool syn_acked_ = false;
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+  bool fin_acked_ = false;
+  std::int64_t peer_rwnd_ = 65535;
+  int dup_ack_count_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;
+  // SACK scoreboard: merged [begin, end) ranges the peer reported holding.
+  std::map<std::uint64_t, std::uint64_t> sacked_;
+  std::uint64_t retx_cursor_ = 0;  // next hole to repair during recovery
+  std::int64_t recovery_out_ = 0;   // repair bytes believed still in flight
+  std::uint64_t recovery_covered_ = 0;  // snd_una_ + sacked bytes, last seen
+  int consecutive_rtos_ = 0;
+  bool infinite_source_ = false;
+  std::uint64_t max_seq_sent_ = 0;
+  std::vector<DssRange> dss_map_;  // sorted by sseq; pruned on ack
+
+  // --- timers ---
+  sim::EventHandle rto_timer_;
+  sim::Time rto_ = sim::Time::seconds(1);
+  sim::Time srtt_{};
+  sim::Time rttvar_{};
+  sim::Time min_rtt_{};
+  bool have_rtt_ = false;
+  sim::EventHandle delack_timer_;
+  int unacked_segments_ = 0;
+  sim::EventHandle persist_timer_;
+  sim::EventHandle tlp_timer_;
+
+  // --- receive side ---
+  std::uint64_t rcv_nxt_ = 0;
+  bool peer_syn_seen_ = false;
+  bool peer_fin_seen_ = false;
+  std::uint64_t peer_fin_seq_ = 0;
+  std::map<std::uint64_t, OooSegment> ooo_;  // keyed by seq
+  std::int64_t ooo_bytes_ = 0;
+  std::int64_t unconsumed_ = 0;
+  bool auto_consume_ = true;
+  sim::Time last_ts_for_echo_{};
+
+  // --- MPTCP ---
+  DataProvider* provider_ = nullptr;
+  int subflow_id_ = 0;
+  bool mp_capable_ = false;
+  std::uint32_t mp_token_ = 0;
+
+  // --- callbacks/stats ---
+  ConnectedCallback on_connected_;
+  DataCallback on_data_;
+  ClosedCallback on_peer_closed_;
+  ClosedCallback on_closed_;
+  FailedCallback on_failed_;
+  std::function<void()> on_drain_;
+  std::int64_t drain_watermark_ = 0;
+  TcpStats stats_;
+};
+
+/// Accepts incoming connections on a bound port; owns the accepted
+/// TcpConnection objects and demuxes segments to them by (peer, port).
+class TcpListener : public net::SegmentSink {
+ public:
+  using AcceptCallback = std::function<void(TcpConnection&)>;
+
+  TcpListener(net::Host* host, net::TransportPort port, TcpConfig cfg);
+  ~TcpListener() override;
+
+  void set_on_accept(AcceptCallback cb) { on_accept_ = std::move(cb); }
+  void on_packet(const net::Packet& pkt) override;
+
+  const std::vector<std::unique_ptr<TcpConnection>>& connections() const {
+    return connections_;
+  }
+
+ private:
+  net::Host* host_;
+  net::TransportPort port_;
+  TcpConfig cfg_;
+  AcceptCallback on_accept_;
+  std::map<std::pair<std::uint32_t, net::TransportPort>, TcpConnection*> by_peer_;
+  std::vector<std::unique_ptr<TcpConnection>> connections_;
+};
+
+}  // namespace cronets::transport

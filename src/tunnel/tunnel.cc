@@ -1,0 +1,169 @@
+#include "tunnel/tunnel.h"
+
+#include <cassert>
+
+namespace cronets::tunnel {
+
+using net::Host;
+using net::IpAddr;
+using net::IpProto;
+using net::Packet;
+
+std::int64_t overhead_bytes(TunnelMode mode) {
+  return mode == TunnelMode::kGre ? net::kGreOverheadBytes : net::kEspOverheadBytes;
+}
+
+IpProto tunnel_proto(TunnelMode mode) {
+  return mode == TunnelMode::kGre ? IpProto::kGre : IpProto::kEsp;
+}
+
+namespace {
+bool is_tunnel_proto(IpProto p) { return p == IpProto::kGre || p == IpProto::kEsp; }
+}  // namespace
+
+// ------------------------------------------------------------- TunnelClient
+
+TunnelClient::TunnelClient(net::Host* host) : host_(host) {
+  host_->add_filter(this);
+  host_->set_output_hook([this](Packet& pkt) { on_output(pkt); });
+}
+
+void TunnelClient::add_tunnel_route(IpAddr dst, IpAddr via, TunnelMode mode) {
+  routes_[dst] = Route{via, mode};
+}
+
+void TunnelClient::remove_tunnel_route(IpAddr dst) { routes_.erase(dst); }
+
+void TunnelClient::on_output(Packet& pkt) {
+  if (is_tunnel_proto(pkt.outer().proto)) return;  // already encapsulated
+  auto it = routes_.find(pkt.outer().dst);
+  if (it == routes_.end()) return;
+  pkt.headers.push_back(net::Ipv4Header{.src = host_->addr(),
+                                        .dst = it->second.via,
+                                        .proto = tunnel_proto(it->second.mode),
+                                        .encap_overhead =
+                                            overhead_bytes(it->second.mode)});
+  ++encapsulated_;
+}
+
+net::PacketFilter::Verdict TunnelClient::process(Packet& pkt, Host& host) {
+  if (!is_tunnel_proto(pkt.outer().proto)) return Verdict::kPass;
+  if (pkt.outer().dst != host.addr()) return Verdict::kPass;
+  if (pkt.headers.size() < 2) return Verdict::kPass;
+  pkt.headers.pop_back();
+  ++decapsulated_;
+  // Inner packet is addressed to us; let normal delivery continue.
+  return Verdict::kPass;
+}
+
+// ---------------------------------------------------------- OverlayDatapath
+
+OverlayDatapath::OverlayDatapath(net::Host* host) : host_(host) {
+  host_->add_filter(this);
+}
+
+net::PacketFilter::Verdict OverlayDatapath::process(Packet& pkt, Host& host) {
+  if (is_tunnel_proto(pkt.outer().proto) && pkt.outer().dst == host.addr() &&
+      pkt.headers.size() >= 2) {
+    const TunnelMode mode =
+        pkt.outer().proto == IpProto::kGre ? TunnelMode::kGre : TunnelMode::kIpsec;
+    return handle_tunnelled(pkt, host, mode);
+  }
+  if (pkt.outer().dst == host.addr()) {
+    return handle_return(pkt, host);
+  }
+  return Verdict::kPass;
+}
+
+net::PacketFilter::Verdict OverlayDatapath::handle_tunnelled(Packet& pkt, Host& host,
+                                                             TunnelMode mode) {
+  pkt.headers.pop_back();  // decapsulate
+
+  // The overlay node is a router-like hop for the inner packet.
+  if (--pkt.ttl <= 0) {
+    send_time_exceeded(host, pkt);
+    return Verdict::kConsumed;
+  }
+
+  if (pkt.is_tcp()) {
+    auto& seg = pkt.tcp();
+    auto& hdr = pkt.outer();  // now the inner header
+    const FlowKey key{hdr.src.value(), seg.sport, hdr.dst.value(), seg.dport};
+    auto it = by_flow_.find(key);
+    net::TransportPort ext;
+    if (it == by_flow_.end()) {
+      ext = next_ext_port_++;
+      by_flow_[key] = ext;
+      by_ext_port_[ext] =
+          NatEntry{hdr.src, seg.sport, hdr.dst, seg.dport, mode};
+    } else {
+      ext = it->second;
+    }
+    // Masquerade: source becomes the overlay node itself.
+    hdr.src = host.addr();
+    seg.sport = ext;
+    ++forwarded_out_;
+    host.forward(std::move(pkt));
+    return Verdict::kConsumed;
+  }
+
+  if (pkt.is_icmp()) {
+    auto& hdr = pkt.outer();
+    icmp_map_[pkt.icmp().probe_id] = {hdr.src, mode};
+    hdr.src = host.addr();
+    ++forwarded_out_;
+    host.forward(std::move(pkt));
+    return Verdict::kConsumed;
+  }
+
+  return Verdict::kConsumed;  // unknown inner protocol: drop
+}
+
+net::PacketFilter::Verdict OverlayDatapath::handle_return(Packet& pkt, Host& host) {
+  if (pkt.is_tcp()) {
+    auto it = by_ext_port_.find(pkt.tcp().dport);
+    if (it == by_ext_port_.end()) return Verdict::kPass;  // node's own traffic
+    const NatEntry& e = it->second;
+    // Reverse translation + re-encapsulation toward the origin endpoint.
+    pkt.outer().dst = e.orig_src;
+    pkt.tcp().dport = e.orig_sport;
+    pkt.headers.push_back(net::Ipv4Header{.src = host.addr(),
+                                          .dst = e.orig_src,
+                                          .proto = tunnel_proto(e.mode),
+                                          .encap_overhead = overhead_bytes(e.mode)});
+    ++forwarded_back_;
+    host.forward(std::move(pkt));
+    return Verdict::kConsumed;
+  }
+  if (pkt.is_icmp()) {
+    auto it = icmp_map_.find(pkt.icmp().probe_id);
+    if (it == icmp_map_.end()) return Verdict::kPass;
+    pkt.outer().dst = it->second.first;
+    pkt.headers.push_back(net::Ipv4Header{
+        .src = host.addr(),
+        .dst = it->second.first,
+        .proto = tunnel_proto(it->second.second),
+        .encap_overhead = overhead_bytes(it->second.second)});
+    ++forwarded_back_;
+    host.forward(std::move(pkt));
+    return Verdict::kConsumed;
+  }
+  return Verdict::kPass;
+}
+
+void OverlayDatapath::send_time_exceeded(Host& host, const Packet& original) {
+  Packet reply;
+  reply.headers.push_back(net::Ipv4Header{
+      .src = host.addr(), .dst = original.outer().src, .proto = IpProto::kIcmp});
+  net::IcmpMessage msg;
+  msg.type = net::IcmpType::kTimeExceeded;
+  msg.original_dst = original.outer().dst;
+  if (original.is_icmp()) {
+    msg.probe_id = original.icmp().probe_id;
+    msg.original_ttl = original.icmp().original_ttl;
+  }
+  reply.body = msg;
+  host.send(std::move(reply));
+}
+
+}  // namespace cronets::tunnel

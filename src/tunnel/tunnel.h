@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "net/host.h"
+#include "net/packet.h"
+#include "net/types.h"
+
+namespace cronets::tunnel {
+
+enum class TunnelMode {
+  kGre,    ///< cleartext inner headers (split-TCP possible downstream)
+  kIpsec,  ///< encrypted inner headers; higher per-packet overhead
+};
+
+std::int64_t overhead_bytes(TunnelMode mode);
+net::IpProto tunnel_proto(TunnelMode mode);
+
+/// Client-side tunnel device. Installed on an endpoint host, it
+/// encapsulates locally-originated packets whose destination has a tunnel
+/// route (via Host's output hook) and decapsulates return traffic arriving
+/// from the overlay node (via the packet-filter chain).
+class TunnelClient : public net::PacketFilter {
+ public:
+  explicit TunnelClient(net::Host* host);
+
+  /// Route traffic destined to `dst` through overlay node `via`.
+  void add_tunnel_route(net::IpAddr dst, net::IpAddr via, TunnelMode mode);
+  void remove_tunnel_route(net::IpAddr dst);
+
+  Verdict process(net::Packet& pkt, net::Host& host) override;
+
+  std::uint64_t encapsulated() const { return encapsulated_; }
+  std::uint64_t decapsulated() const { return decapsulated_; }
+
+ private:
+  void on_output(net::Packet& pkt);
+
+  struct Route {
+    net::IpAddr via;
+    TunnelMode mode;
+  };
+  net::Host* host_;
+  std::unordered_map<net::IpAddr, Route> routes_;
+  std::uint64_t encapsulated_ = 0;
+  std::uint64_t decapsulated_ = 0;
+};
+
+/// Overlay-node datapath: decapsulates tunnelled packets, applies a
+/// masquerade NAT (Linux IP-masquerade style — the inner source becomes the
+/// overlay node's own address, so the far endpoint needs no tunnel), and
+/// forwards. Return traffic is matched by external port, un-NATted, and
+/// re-encapsulated back to the originating endpoint.
+class OverlayDatapath : public net::PacketFilter {
+ public:
+  explicit OverlayDatapath(net::Host* host);
+
+  Verdict process(net::Packet& pkt, net::Host& host) override;
+
+  std::uint64_t forwarded_out() const { return forwarded_out_; }
+  std::uint64_t forwarded_back() const { return forwarded_back_; }
+  std::size_t nat_entries() const { return by_ext_port_.size(); }
+
+ private:
+  struct NatEntry {
+    net::IpAddr orig_src;
+    net::TransportPort orig_sport = 0;
+    net::IpAddr peer;
+    net::TransportPort peer_port = 0;
+    TunnelMode mode = TunnelMode::kGre;
+  };
+  using FlowKey = std::tuple<std::uint32_t, net::TransportPort, std::uint32_t,
+                             net::TransportPort>;
+
+  Verdict handle_tunnelled(net::Packet& pkt, net::Host& host, TunnelMode mode);
+  Verdict handle_return(net::Packet& pkt, net::Host& host);
+  void send_time_exceeded(net::Host& host, const net::Packet& original);
+
+  net::Host* host_;
+  std::map<FlowKey, net::TransportPort> by_flow_;
+  std::unordered_map<net::TransportPort, NatEntry> by_ext_port_;
+  // ICMP probes NATted by probe id (tunnelled traceroute support).
+  std::unordered_map<std::uint32_t, std::pair<net::IpAddr, TunnelMode>> icmp_map_;
+  net::TransportPort next_ext_port_ = 40000;
+  std::uint64_t forwarded_out_ = 0;
+  std::uint64_t forwarded_back_ = 0;
+};
+
+}  // namespace cronets::tunnel

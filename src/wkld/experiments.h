@@ -1,0 +1,78 @@
+#pragma once
+
+#include <vector>
+
+#include "core/measure_model.h"
+#include "core/selection.h"
+#include "sim/time.h"
+#include "wkld/world.h"
+
+namespace cronets::wkld {
+
+/// §II-A / Figure 2 — "real-life web server" experiment: every client
+/// downloads from every mirror server, direct and via each of the five
+/// overlay DCs (110 x 10 x (1 + 5) ≈ 6,600 observed paths).
+struct WebExperiment {
+  std::vector<int> clients;
+  std::vector<int> servers;
+  std::vector<int> overlays;
+  std::vector<core::PairSample> samples;  // one per (server -> client) pair
+};
+WebExperiment run_web_experiment(World& world, int num_clients = 110,
+                                 sim::Time at = sim::Time::hours(1));
+
+/// §II-B / Figures 3-5 & 8-11 — controlled-sender experiment: for each of
+/// the 50 clients, each DC VM takes a turn as the TCP sender while the
+/// remaining four act as overlay nodes (250 measurements, 1,250 paths).
+struct ControlledExperiment {
+  std::vector<int> clients;
+  std::vector<int> overlays;              // the five DC VMs
+  std::vector<core::PairSample> samples;  // sender(VM) -> client
+};
+ControlledExperiment run_controlled_experiment(World& world, int num_clients = 50,
+                                               sim::Time at = sim::Time::hours(1));
+/// Variant over an existing client population (used by the longitudinal
+/// pipeline, which must inject its transient event before measuring).
+ControlledExperiment run_controlled_experiment_on(World& world,
+                                                  const std::vector<int>& clients,
+                                                  sim::Time at);
+
+/// §IV / Figures 6-7 & Table I — longitudinal study: the 30 pairs with the
+/// highest split-overlay improvement are re-measured 50 times at 3-hour
+/// intervals over a week. A transient congestion event is injected during
+/// the ranking measurement (mirroring the paper's path-1/2/4 anecdote,
+/// where the initially-worst paths had recovered by the follow-up week).
+struct LongitudinalStudy {
+  struct Pair {
+    int src = -1;
+    int dst = -1;
+    double ranking_improvement = 0.0;         // split/direct at ranking time
+    core::PairHistory history;                // direct + per-overlay samples
+    std::vector<double> best_split_series;    // max split-overlay per sample
+  };
+  std::vector<Pair> pairs;  // sorted by ranking improvement, best first
+  int samples_per_pair = 0;
+};
+LongitudinalStudy run_longitudinal_study(World& world,
+                                         const ControlledExperiment& ranking,
+                                         int top_n = 30, int num_samples = 50,
+                                         sim::Time interval = sim::Time::hours(3));
+
+/// Inject the transient congestion episode used by the longitudinal story:
+/// boosts utilization of one client's provider uplink during
+/// [from, until). Returns the affected client endpoint.
+int inject_ranking_event(World& world, const std::vector<int>& clients,
+                         sim::Time from, sim::Time until, double boost = 0.65);
+
+/// The full §IV pipeline: build the §II-B population, run a transient
+/// congestion event over the ranking window, rank pairs by split-overlay
+/// improvement at ranking time, then follow the top-N for a week.
+struct LongitudinalPipeline {
+  ControlledExperiment ranking;
+  LongitudinalStudy study;
+  int event_victim = -1;
+};
+LongitudinalPipeline run_longitudinal_pipeline(World& world, int top_n = 30,
+                                               int num_samples = 50);
+
+}  // namespace cronets::wkld

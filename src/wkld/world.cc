@@ -1,0 +1,93 @@
+#include "wkld/world.h"
+
+namespace cronets::wkld {
+
+using topo::Region;
+
+World::World(std::uint64_t seed, topo::TopologyParams params,
+             topo::CloudParams cloud) {
+  params.seed = seed;
+  internet_ = std::make_unique<topo::Internet>(params, cloud);
+  flow_ = std::make_unique<model::FlowModel>(internet_.get(), seed ^ 0x9e3779b9u);
+  overlay_ = std::make_unique<core::OverlayNetwork>(internet_.get());
+  meter_ = std::make_unique<core::ModelMeasurement>(internet_.get(), flow_.get());
+}
+
+namespace {
+std::vector<int> make_population(topo::Internet& net, int total,
+                                 const std::vector<std::pair<Region, double>>& mix,
+                                 const std::string& prefix, int* counter) {
+  std::vector<int> out;
+  // Largest-remainder apportionment of `total` across the mix.
+  std::vector<int> counts(mix.size(), 0);
+  int assigned = 0;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    counts[i] = static_cast<int>(mix[i].second * total);
+    assigned += counts[i];
+  }
+  for (std::size_t i = 0; assigned < total; i = (i + 1) % mix.size()) {
+    ++counts[i];
+    ++assigned;
+  }
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    for (int k = 0; k < counts[i]; ++k) {
+      out.push_back(net.add_client(
+          mix[i].first, prefix + "-" + std::to_string((*counter)++)));
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<int> World::make_web_clients(int total) {
+  // 48 EU, 45 NA (split east/west), 14 Asia, 3 AU out of 110.
+  const std::vector<std::pair<Region, double>> mix = {
+      {Region::kEurope, 48.0 / 110}, {Region::kNaEast, 23.0 / 110},
+      {Region::kNaWest, 22.0 / 110}, {Region::kAsia, 14.0 / 110},
+      {Region::kAustralia, 3.0 / 110},
+  };
+  return make_population(*internet_, total, mix, "pl", &client_counter_);
+}
+
+std::vector<int> World::make_controlled_clients(int total) {
+  // 26 North+South America, 18 EU, 5 Asia, 1 AU out of 50.
+  const std::vector<std::pair<Region, double>> mix = {
+      {Region::kNaEast, 11.0 / 50},       {Region::kNaWest, 9.0 / 50},
+      {Region::kSouthAmerica, 6.0 / 50},  {Region::kEurope, 18.0 / 50},
+      {Region::kAsia, 5.0 / 50},          {Region::kAustralia, 1.0 / 50},
+  };
+  return make_population(*internet_, total, mix, "ctl", &client_counter_);
+}
+
+std::vector<int> World::make_servers() {
+  // Canada, USA x3, Germany, Switzerland x2, Japan, Korea, China.
+  const Region regions[] = {
+      Region::kNaEast, Region::kNaEast, Region::kNaWest, Region::kNaWest,
+      Region::kEurope, Region::kEurope, Region::kEurope, Region::kAsia,
+      Region::kAsia,   Region::kAsia,
+  };
+  std::vector<int> out;
+  for (Region r : regions) {
+    out.push_back(
+        internet_->add_server(r, "mirror-" + std::to_string(server_counter_++)));
+  }
+  return out;
+}
+
+std::vector<int> World::rent_paper_overlays() {
+  std::vector<int> out;
+  for (const char* dc : {"wdc", "sjc", "dal", "ams", "tok"}) {
+    out.push_back(overlay_->rent(dc).endpoint);
+  }
+  return out;
+}
+
+std::vector<int> World::rent_all_overlays() {
+  std::vector<int> out;
+  for (const auto& dc : internet_->cloud().dcs) {
+    out.push_back(overlay_->rent(dc.name).endpoint);
+  }
+  return out;
+}
+
+}  // namespace cronets::wkld

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/measure_model.h"
+#include "core/overlay.h"
+#include "model/flow_model.h"
+#include "topo/internet.h"
+
+namespace cronets::wkld {
+
+/// The shared experiment world: one generated Internet, one flow model,
+/// and the standard endpoint populations from the paper. Every bench and
+/// example builds a World from a seed so results are reproducible and
+/// consistent across figures.
+class World {
+ public:
+  explicit World(std::uint64_t seed = 42,
+                 topo::TopologyParams params = topo::TopologyParams{},
+                 topo::CloudParams cloud = topo::CloudParams{});
+
+  topo::Internet& internet() { return *internet_; }
+  model::FlowModel& flow() { return *flow_; }
+  core::OverlayNetwork& overlay() { return *overlay_; }
+  core::ModelMeasurement& meter() { return *meter_; }
+
+  /// PlanetLab-like client population (§II-A: 48 EU, 45 NA, 14 Asia, 3 AU
+  /// when `total` is 110; other totals scale the mix).
+  std::vector<int> make_web_clients(int total = 110);
+  /// The §II-B controlled-experiment population (50 nodes: 26 Americas,
+  /// 18 EU, 5 Asia, 1 AU).
+  std::vector<int> make_controlled_clients(int total = 50);
+  /// The ten Eclipse-mirror-style servers (Canada/USA/DE/CH/JP/KR/CN).
+  std::vector<int> make_servers();
+
+  /// Rent the paper's five overlay DCs (§II-A): WDC, San Jose, Dallas,
+  /// Amsterdam, Tokyo. Returns their endpoint ids.
+  std::vector<int> rent_paper_overlays();
+  /// Rent every data center (the nine-server MPTCP setup, §VI-B).
+  std::vector<int> rent_all_overlays();
+
+ private:
+  std::unique_ptr<topo::Internet> internet_;
+  std::unique_ptr<model::FlowModel> flow_;
+  std::unique_ptr<core::OverlayNetwork> overlay_;
+  std::unique_ptr<core::ModelMeasurement> meter_;
+  int client_counter_ = 0;
+  int server_counter_ = 0;
+};
+
+}  // namespace cronets::wkld

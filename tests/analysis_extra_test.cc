@@ -1,0 +1,135 @@
+// Additional analysis-layer coverage: interface-level hops, CDF edge
+// cases, binning corners, tstat multi-flow accounting.
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats.h"
+#include "analysis/traceroute.h"
+#include "analysis/tstat.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "topo/internet.h"
+#include "transport/apps.h"
+
+namespace cronets::analysis {
+namespace {
+
+using sim::Time;
+
+TEST(InterfaceHops, EncodeRouterAndIngressLink) {
+  topo::RouterPath p;
+  p.routers = {10, 11, 12};
+  p.traversals = {{100, true}, {101, false}, {102, true}, {103, true}};
+  const auto hops = interface_hops(p);
+  ASSERT_EQ(hops.size(), 3u);  // min(routers, traversals)
+  // Same router entered over a different link must hash differently.
+  topo::RouterPath q = p;
+  q.traversals[1].link_id = 999;
+  const auto hops2 = interface_hops(q);
+  EXPECT_EQ(hops[0], hops2[0]);
+  EXPECT_NE(hops[1], hops2[1]);
+  EXPECT_EQ(hops[2], hops2[2]);
+}
+
+TEST(InterfaceHops, MatchesPathStructureOnGeneratedWorld) {
+  topo::TopologyParams tp;
+  tp.seed = 5;
+  tp.num_tier1 = 6;
+  tp.num_tier2 = 14;
+  tp.num_stubs = 40;
+  topo::Internet net(tp, topo::CloudParams{});
+  const int a = net.add_client(topo::Region::kEurope, "a");
+  const int b = net.add_client(topo::Region::kAsia, "b");
+  const auto path = net.path(a, b);
+  const auto hops = interface_hops(path);
+  EXPECT_EQ(hops.size(), path.routers.size());
+  // A path is perfectly self-similar: diversity vs itself is 0.
+  EXPECT_DOUBLE_EQ(diversity_score(hops, hops), 0.0);
+}
+
+TEST(CdfEdge, SingleValue) {
+  Cdf c;
+  c.add(5.0);
+  EXPECT_DOUBLE_EQ(c.median(), 5.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(c.stdev(), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_leq(4.9), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_leq(5.0), 1.0);
+}
+
+TEST(CdfEdge, AddAllAndInterleavedQueries) {
+  Cdf c;
+  c.add_all({3, 1, 2});
+  EXPECT_DOUBLE_EQ(c.median(), 2.0);
+  c.add(0.0);  // re-sorts lazily
+  EXPECT_DOUBLE_EQ(c.min(), 0.0);
+  EXPECT_DOUBLE_EQ(c.median(), 1.5);
+}
+
+TEST(BinningEdge, ValuesBelowFirstEdgeAreDropped) {
+  const Binned b = bin_by({-1.0, 0.5, 2.0}, {10, 20, 30}, {0.0, 1.0});
+  ASSERT_EQ(b.bins.size(), 2u);
+  EXPECT_EQ(b.bins[0], (std::vector<double>{20}));
+  EXPECT_EQ(b.bins[1], (std::vector<double>{30}));  // open-ended last bin
+}
+
+TEST(TstatMultiFlow, SeparatesFlowsByPort) {
+  sim::Simulator simv;
+  net::Network netw(&simv, sim::Rng{7});
+  auto* a = netw.add_host("A");
+  auto* b = netw.add_host("B");
+  auto* r = netw.add_router("R");
+  net::LinkSpec s;
+  s.capacity_bps = 100e6;
+  s.prop_delay = Time::milliseconds(5);
+  netw.add_link(a, r, s);
+  netw.add_link(r, b, s);
+  netw.compute_routes();
+
+  Tstat tstat;
+  tstat.attach(a);
+  transport::TcpConfig cfg;
+  transport::BulkSink sink1(b, 5001, cfg);
+  transport::BulkSink sink2(b, 5002, cfg);
+  transport::TcpConnection c1(a, 1234, b->addr(), 5001, cfg);
+  transport::TcpConnection c2(a, 1235, b->addr(), 5002, cfg);
+  c1.set_on_connected([&] { c1.app_write(100'000); });
+  c2.set_on_connected([&] { c2.app_write(200'000); });
+  c1.connect();
+  c2.connect();
+  simv.run_until(Time::seconds(10));
+
+  ASSERT_EQ(tstat.flows().size(), 2u);
+  std::vector<std::uint64_t> sent;
+  for (const auto& [key, fs] : tstat.flows()) sent.push_back(fs.bytes_sent);
+  std::sort(sent.begin(), sent.end());
+  EXPECT_EQ(sent[0], 100'000u);
+  EXPECT_EQ(sent[1], 200'000u);
+  // Totals aggregate across flows.
+  EXPECT_EQ(tstat.totals().bytes_sent, 300'000u);
+  EXPECT_GT(tstat.totals().rtt_samples, 10u);
+}
+
+TEST(TstatMultiFlow, CleanFlowHasZeroRetransmissions) {
+  sim::Simulator simv;
+  net::Network netw(&simv, sim::Rng{7});
+  auto* a = netw.add_host("A");
+  auto* b = netw.add_host("B");
+  netw.add_link(a, b, net::LinkSpec{});
+  netw.compute_routes();
+  Tstat tstat;
+  tstat.attach(a);
+  transport::TcpConfig cfg;
+  transport::BulkSink sink(b, 5001, cfg);
+  transport::TcpConnection c(a, 1234, b->addr(), 5001, cfg);
+  c.set_on_connected([&] { c.app_write(500'000); });
+  c.connect();
+  simv.run_until(Time::seconds(10));
+  EXPECT_EQ(tstat.totals().bytes_retransmitted, 0u);
+  EXPECT_DOUBLE_EQ(tstat.totals().retransmission_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace cronets::analysis

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "analysis/c45.h"
+#include "analysis/stats.h"
+#include "analysis/traceroute.h"
+#include "analysis/tstat.h"
+#include "net/network.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "transport/apps.h"
+
+namespace cronets::analysis {
+namespace {
+
+using sim::Time;
+
+TEST(Cdf, QuantilesAndFractions) {
+  Cdf c;
+  for (int i = 1; i <= 100; ++i) c.add(i);
+  EXPECT_DOUBLE_EQ(c.median(), 50.5);
+  EXPECT_NEAR(c.quantile(0.9), 90.1, 0.2);
+  EXPECT_DOUBLE_EQ(c.min(), 1.0);
+  EXPECT_DOUBLE_EQ(c.max(), 100.0);
+  EXPECT_DOUBLE_EQ(c.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(c.fraction_leq(50), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction_gt(90), 0.1);
+  EXPECT_DOUBLE_EQ(c.fraction_geq(91), 0.1);
+  EXPECT_EQ(c.size(), 100u);
+}
+
+TEST(Cdf, StdevMatchesKnown) {
+  Cdf c;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) c.add(v);
+  EXPECT_NEAR(c.stdev(), 2.138, 0.01);  // sample stdev
+}
+
+TEST(Stats, MedianAndMad) {
+  EXPECT_DOUBLE_EQ(median_of({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(median_abs_deviation({1, 1, 2, 2, 4, 6, 9}), 1.0);
+}
+
+TEST(Stats, BinByEdges) {
+  const std::vector<double> keys = {5, 75, 145, 300, 69, 140};
+  const std::vector<double> vals = {1, 2, 3, 4, 5, 6};
+  const Binned b = bin_by(keys, vals, {0, 70, 140, 210, 280});
+  ASSERT_EQ(b.bins.size(), 5u);
+  EXPECT_EQ(b.bins[0], (std::vector<double>{1, 5}));
+  EXPECT_EQ(b.bins[1], (std::vector<double>{2}));
+  EXPECT_EQ(b.bins[2], (std::vector<double>{3, 6}));
+  EXPECT_TRUE(b.bins[3].empty());
+  EXPECT_EQ(b.bins[4], (std::vector<double>{4}));
+}
+
+TEST(Diversity, ScoreDefinition) {
+  // diversity = 1 - common/|direct|
+  using V = std::vector<int>;
+  EXPECT_DOUBLE_EQ(diversity_score(V{1, 2, 3, 4}, V{1, 2, 3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(diversity_score(V{1, 2, 3, 4}, V{5, 6, 7}), 1.0);
+  EXPECT_DOUBLE_EQ(diversity_score(V{1, 2, 3, 4}, V{1, 9, 4}), 0.5);
+  // Interface-level identity: same router via different ingress links is a
+  // different hop.
+  using H = std::vector<long long>;
+  EXPECT_DOUBLE_EQ(diversity_score(H{1000003 + 1, 2000006 + 2},
+                                   H{1000003 + 9, 2000006 + 2}),
+                   0.5);
+}
+
+TEST(Diversity, CommonRouterLocation) {
+  // Direct path of 9 routers; overlay shares the first 2 and last 2.
+  const std::vector<int> direct = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::vector<int> overlay = {1, 2, 20, 21, 8, 9};
+  const CommonRouterLocation loc = common_router_location(direct, overlay);
+  EXPECT_EQ(loc.common_end, 4);
+  EXPECT_EQ(loc.common_middle, 0);
+  const CommonRouterLocation mid = common_router_location(direct, {4, 5, 6});
+  EXPECT_EQ(mid.common_end, 0);
+  EXPECT_EQ(mid.common_middle, 3);
+}
+
+TEST(C45, LearnsAxisAlignedConcept) {
+  // Label = (x0 > 0.3) && (x1 > 0.5), plus mild noise.
+  sim::Rng rng(4);
+  Dataset d;
+  d.feature_names = {"x0", "x1"};
+  for (int i = 0; i < 2000; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    int y = (x0 > 0.3 && x1 > 0.5) ? 1 : 0;
+    if (rng.bernoulli(0.02)) y = 1 - y;
+    d.x.push_back({x0, x1});
+    d.y.push_back(y);
+  }
+  C45Tree tree;
+  tree.train(d);
+  ASSERT_TRUE(tree.trained());
+
+  // Accuracy on clean grid points.
+  int correct = 0, total = 0;
+  for (double x0 = 0.05; x0 < 1.0; x0 += 0.1) {
+    for (double x1 = 0.05; x1 < 1.0; x1 += 0.1) {
+      const int want = (x0 > 0.3 && x1 > 0.5) ? 1 : 0;
+      correct += (tree.predict({x0, x1}) == want);
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+
+  // The best positive rule should recover both thresholds approximately.
+  const auto rule = tree.best_positive_rule(/*min_support=*/100);
+  ASSERT_FALSE(rule.conditions.empty());
+  double thr0 = -1, thr1 = -1;
+  for (const auto& c : rule.conditions) {
+    if (c.feature == 0 && c.greater) thr0 = c.threshold;
+    if (c.feature == 1 && c.greater) thr1 = c.threshold;
+  }
+  EXPECT_NEAR(thr0, 0.3, 0.08);
+  EXPECT_NEAR(thr1, 0.5, 0.08);
+  EXPECT_GT(rule.confidence, 0.9);
+}
+
+TEST(C45, PruningShrinksNoiseTree) {
+  // Pure-noise labels: a pruned tree should collapse to (near) a stump.
+  sim::Rng rng(9);
+  Dataset d;
+  d.feature_names = {"a", "b"};
+  for (int i = 0; i < 500; ++i) {
+    d.x.push_back({rng.uniform(), rng.uniform()});
+    d.y.push_back(rng.bernoulli(0.5) ? 1 : 0);
+  }
+  C45Tree pruned, unpruned;
+  C45Tree::Options opt;
+  opt.prune = true;
+  pruned.train(d, opt);
+  opt.prune = false;
+  unpruned.train(d, opt);
+  EXPECT_LT(pruned.node_count(), unpruned.node_count());
+}
+
+TEST(C45, DumpContainsFeatureNames) {
+  Dataset d;
+  d.feature_names = {"rtt_reduction", "loss_reduction"};
+  sim::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform();
+    const double b = rng.uniform();
+    d.x.push_back({a, b});
+    d.y.push_back(a > 0.4 ? 1 : 0);
+  }
+  C45Tree tree;
+  tree.train(d);
+  EXPECT_NE(tree.dump().find("rtt_reduction"), std::string::npos);
+}
+
+TEST(Tstat, MeasuresRetransmissionRateAndRtt) {
+  sim::Simulator simv;
+  net::Network netw(&simv, sim::Rng{7});
+  auto* a = netw.add_host("A");
+  auto* b = netw.add_host("B");
+  auto* r = netw.add_router("R");
+  net::LinkSpec acc, bot;
+  acc.capacity_bps = 1e9;
+  acc.prop_delay = Time::milliseconds(1);
+  bot.capacity_bps = 100e6;
+  bot.prop_delay = Time::milliseconds(24);
+  bot.background.base_loss = 0.005;
+  netw.add_link(a, r, acc);
+  netw.add_link(r, b, bot);
+  netw.compute_routes();
+
+  Tstat tstat;
+  tstat.attach(a);
+
+  transport::TcpConfig cfg;
+  transport::BulkSink sink(b, 5001, cfg);
+  transport::BulkSource src(a, 1234, b->addr(), 5001, cfg);
+  src.start();
+  simv.run_until(Time::seconds(30));
+
+  const Tstat::FlowStats t = tstat.totals();
+  EXPECT_GT(t.bytes_sent, 1'000'000u);
+  // Retransmission rate tracks the injected loss within a factor.
+  EXPECT_GT(t.retransmission_rate(), 0.002);
+  EXPECT_LT(t.retransmission_rate(), 0.02);
+  // Average RTT reflects the ~50 ms base path plus delack/queueing.
+  EXPECT_GT(t.avg_rtt_ms(), 48.0);
+  EXPECT_LT(t.avg_rtt_ms(), 120.0);
+  // Cross-check against the sender's own accounting (same ballpark).
+  EXPECT_NEAR(t.retransmission_rate(),
+              src.connection().stats().retransmission_rate(), 0.01);
+}
+
+}  // namespace
+}  // namespace cronets::analysis

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/measure_model.h"
+#include "core/measure_packet.h"
+#include "core/overlay.h"
+#include "core/selection.h"
+#include "wkld/world.h"
+
+namespace cronets::core {
+namespace {
+
+using sim::Time;
+
+topo::TopologyParams small_params() {
+  topo::TopologyParams p;
+  p.seed = 21;
+  p.num_tier1 = 6;
+  p.num_tier2 = 14;
+  p.num_stubs = 40;
+  return p;
+}
+
+TEST(Overlay, RentNodesByDcName) {
+  topo::Internet net(small_params(), topo::CloudParams{});
+  OverlayNetwork overlay(&net);
+  const OverlayNode n1 = overlay.rent("wdc");
+  const OverlayNode n2 = overlay.rent("tok", tunnel::TunnelMode::kIpsec);
+  EXPECT_EQ(n1.dc_name, "wdc");
+  EXPECT_EQ(n2.mode, tunnel::TunnelMode::kIpsec);
+  EXPECT_EQ(overlay.endpoints().size(), 2u);
+  EXPECT_NE(n1.endpoint, n2.endpoint);
+}
+
+TEST(ModelMeasurement, PairSampleAggregates) {
+  PairSample s;
+  s.direct_bps = 10e6;
+  s.overlays = {
+      OverlaySample{.overlay_ep = 1, .plain_bps = 5e6, .split_bps = 12e6,
+                    .discrete_bps = 13e6, .rtt_ms = 120, .loss = 0.01},
+      OverlaySample{.overlay_ep = 2, .plain_bps = 8e6, .split_bps = 25e6,
+                    .discrete_bps = 26e6, .rtt_ms = 90, .loss = 0.002},
+  };
+  EXPECT_DOUBLE_EQ(s.best_plain_bps(), 8e6);
+  EXPECT_DOUBLE_EQ(s.best_split_bps(), 25e6);
+  EXPECT_DOUBLE_EQ(s.best_discrete_bps(), 26e6);
+  EXPECT_DOUBLE_EQ(s.min_overlay_rtt_ms(), 90.0);
+  EXPECT_DOUBLE_EQ(s.min_overlay_loss(), 0.002);
+  EXPECT_EQ(s.best_split_overlay_ep(), 2);
+}
+
+TEST(ModelMeasurement, MeasuresPairAgainstOverlays) {
+  wkld::World world(21, small_params());
+  const auto overlays = world.rent_paper_overlays();
+  const int c = world.internet().add_client(topo::Region::kEurope, "c");
+  const int s = world.internet().add_server(topo::Region::kNaEast, "s");
+  const PairSample sample = world.meter().measure(s, c, overlays, Time::hours(1));
+  EXPECT_EQ(sample.overlays.size(), 5u);
+  EXPECT_GT(sample.direct_bps, 0.0);
+  EXPECT_GT(sample.direct_rtt_ms, 10.0);
+  for (const auto& o : sample.overlays) {
+    EXPECT_GT(o.split_bps, 0.0);
+    EXPECT_GT(o.rtt_ms, sample.direct_rtt_ms * 0.3);
+    // The VM NIC caps every overlay path at 100 Mbps.
+    EXPECT_LE(o.split_bps, 100e6 * 1.2);
+    EXPECT_LE(o.plain_bps, 100e6 * 1.2);
+  }
+}
+
+TEST(Selection, MinOverlaysRequired) {
+  // Overlay 0 is best at t0/t1, overlay 2 best at t2: need both.
+  PairHistory h;
+  h.direct = {1, 1, 1};
+  h.overlay = {{9, 2, 3}, {8, 2, 3}, {2, 3, 7}};
+  EXPECT_EQ(min_overlays_required(h), 2);
+  // A single always-best overlay suffices.
+  PairHistory h1;
+  h1.direct = {1, 1};
+  h1.overlay = {{9, 2}, {8, 2}};
+  EXPECT_EQ(min_overlays_required(h1), 1);
+}
+
+TEST(Selection, BestSubsetAverage) {
+  PairHistory h;
+  h.direct = {1, 1};
+  h.overlay = {{10, 6, 2}, {2, 6, 10}};
+  std::vector<int> chosen;
+  // k=1: overlay 1 averages 6; overlay 0 and 2 average 6 too ((10+2)/2).
+  EXPECT_DOUBLE_EQ(best_subset_avg_bps(h, 1, &chosen), 6.0);
+  // k=2: {0,2} gives max(10,2)=10 then max(2,10)=10 -> avg 10.
+  EXPECT_DOUBLE_EQ(best_subset_avg_bps(h, 2, &chosen), 10.0);
+  EXPECT_EQ(chosen, (std::vector<int>{0, 2}));
+}
+
+TEST(Selection, StaleProbingLosesToMptcp) {
+  // Alternating best path: stale probing picks yesterday's winner.
+  PairHistory h;
+  for (int t = 0; t < 10; ++t) {
+    h.direct.push_back(1.0);
+    if (t % 2 == 0) {
+      h.overlay.push_back({10.0, 2.0});
+    } else {
+      h.overlay.push_back({2.0, 10.0});
+    }
+  }
+  ProbeSelector stale(/*probe_interval=*/2);
+  const auto probed = stale.achieved(h);
+  const auto mptcp = mptcp_achieved(h);
+  double probed_sum = 0, mptcp_sum = 0;
+  for (double v : probed) probed_sum += v;
+  for (double v : mptcp) mptcp_sum += v;
+  EXPECT_GT(mptcp_sum, probed_sum * 1.4);
+  // Fresh probing every sample matches MPTCP (modulo efficiency).
+  ProbeSelector fresh(1);
+  const auto fresh_vals = fresh.achieved(h);
+  double fresh_sum = 0;
+  for (double v : fresh_vals) fresh_sum += v;
+  EXPECT_NEAR(fresh_sum, mptcp_sum / 0.97, 1.0);
+}
+
+TEST(Cost, CronetsVsLeasedLineIsAboutTenfold) {
+  CloudPricing cloud;
+  LeasedLinePricing line;
+  // Two branch offices, 100 Mbps-class connectivity, ~2 TB/month.
+  const CostBreakdown cronets = cronets_monthly_cost(cloud, 2, 2000, 100);
+  const CostBreakdown leased = leased_line_monthly_cost(line, 100, false);
+  EXPECT_GT(leased.monthly_usd / cronets.monthly_usd, 5.0);
+  EXPECT_LT(leased.monthly_usd / cronets.monthly_usd, 30.0);
+}
+
+TEST(Cost, UnmeteredOptionCapsEgress) {
+  CloudPricing cloud;
+  const CostBreakdown a = cronets_monthly_cost(cloud, 1, 500, 100);
+  const CostBreakdown b = cronets_monthly_cost(cloud, 1, 50000, 100);
+  // Beyond break-even the unlimited option caps traffic cost.
+  EXPECT_LE(b.monthly_usd, cloud.vm_monthly_usd + cloud.unlimited_100m_upcharge_usd);
+  EXPECT_LT(a.monthly_usd, b.monthly_usd + 1e-9);
+}
+
+TEST(Cost, PortUpgradesCost) {
+  CloudPricing cloud;
+  const double m100 = cronets_monthly_cost(cloud, 1, 100, 100).monthly_usd;
+  const double m1g = cronets_monthly_cost(cloud, 1, 100, 1000).monthly_usd;
+  const double m10g = cronets_monthly_cost(cloud, 1, 100, 10000).monthly_usd;
+  EXPECT_LT(m100, m1g);
+  EXPECT_LT(m1g, m10g);
+}
+
+TEST(PacketLab, DirectRunProducesPlausibleResult) {
+  wkld::World world(22, small_params());
+  const int c = world.internet().add_client(topo::Region::kEurope, "c");
+  const int dc = world.internet().dc_endpoints()[0];
+  PacketLab lab(&world.internet());
+  const PacketRunResult r = lab.run_direct(dc, c, Time::seconds(8));
+  EXPECT_TRUE(r.connected);
+  EXPECT_GT(r.goodput_bps, 1e5);
+  EXPECT_LE(r.goodput_bps, 100e6);  // VM NIC cap
+  EXPECT_GT(r.avg_rtt_ms, 1.0);
+}
+
+TEST(PacketLab, SplitRunRelaysThroughOverlay) {
+  wkld::World world(23, small_params());
+  const int c = world.internet().add_client(topo::Region::kEurope, "c");
+  const int s = world.internet().add_server(topo::Region::kNaEast, "s");
+  const int via = world.internet().dc_endpoints()[0];
+  PacketLab lab(&world.internet());
+  const PacketRunResult r = lab.run_split(s, c, via, Time::seconds(8));
+  EXPECT_TRUE(r.connected);
+  EXPECT_GT(r.goodput_bps, 1e5);
+}
+
+TEST(PacketLab, TunnelRunCarriesTraffic) {
+  wkld::World world(24, small_params());
+  const int c = world.internet().add_client(topo::Region::kEurope, "c");
+  const int s = world.internet().add_server(topo::Region::kNaEast, "s");
+  const int via = world.internet().dc_endpoints()[1];
+  PacketLab lab(&world.internet());
+  const PacketRunResult r =
+      lab.run_tunnel(s, c, via, tunnel::TunnelMode::kGre, Time::seconds(8));
+  EXPECT_TRUE(r.connected);
+  EXPECT_GT(r.goodput_bps, 1e5);
+}
+
+TEST(PacketLab, MptcpRunUsesAllPaths) {
+  wkld::World world(25, small_params());
+  const int c = world.internet().add_client(topo::Region::kEurope, "c");
+  const int s = world.internet().add_server(topo::Region::kNaEast, "s");
+  const std::vector<int> vias = {world.internet().dc_endpoints()[0],
+                                 world.internet().dc_endpoints()[1]};
+  PacketLab lab(&world.internet());
+  const PacketRunResult r = lab.run_mptcp(s, c, vias, transport::Coupling::kOlia,
+                                          Time::seconds(8));
+  EXPECT_TRUE(r.connected);
+  EXPECT_GT(r.goodput_bps, 1e5);
+}
+
+TEST(PacketLab, BackboneSplitRunWorks) {
+  wkld::World world(26, small_params());
+  const int c = world.internet().add_client(topo::Region::kEurope, "c");
+  const int s = world.internet().add_server(topo::Region::kAsia, "s");
+  const int dc_a = world.internet().dc_endpoints()[4];  // tok
+  const int dc_b = world.internet().dc_endpoints()[3];  // ams
+  PacketLab lab(&world.internet());
+  const PacketRunResult r =
+      lab.run_split_backbone(s, c, dc_a, dc_b, Time::seconds(8));
+  EXPECT_TRUE(r.connected);
+  EXPECT_GT(r.goodput_bps, 1e5);
+}
+
+}  // namespace
+}  // namespace cronets::core

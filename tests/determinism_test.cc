@@ -1,0 +1,84 @@
+// Determinism guarantees: a (seed, workload) pair fully reproduces a run —
+// the property that makes every figure in EXPERIMENTS.md regenerable.
+
+#include <gtest/gtest.h>
+
+#include "core/measure_packet.h"
+#include "wkld/experiments.h"
+
+namespace cronets {
+namespace {
+
+topo::TopologyParams small_params() {
+  topo::TopologyParams p;
+  p.seed = 77;
+  p.num_tier1 = 6;
+  p.num_tier2 = 14;
+  p.num_stubs = 40;
+  return p;
+}
+
+TEST(Determinism, ModelMeasurementsAreBitIdentical) {
+  auto run = [] {
+    wkld::World world(77, small_params());
+    const auto exp = wkld::run_controlled_experiment(world, 10);
+    std::vector<double> out;
+    for (const auto& s : exp.samples) {
+      out.push_back(s.direct_bps);
+      out.push_back(s.best_split_bps());
+      out.push_back(s.direct_rtt_ms);
+    }
+    return out;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << "sample " << i;
+  }
+}
+
+TEST(Determinism, PacketRunsAreBitIdentical) {
+  auto run = [] {
+    wkld::World world(78, small_params());
+    const int c = world.internet().add_client(topo::Region::kEurope, "c");
+    const int dc = world.internet().dc_endpoints()[0];
+    core::PacketLab lab(&world.internet());
+    return lab.run_direct(dc, c, sim::Time::seconds(6), sim::Time::hours(1));
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_DOUBLE_EQ(a.goodput_bps, b.goodput_bps);
+  EXPECT_DOUBLE_EQ(a.retrans_rate, b.retrans_rate);
+  EXPECT_DOUBLE_EQ(a.avg_rtt_ms, b.avg_rtt_ms);
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  auto run = [](std::uint64_t seed) {
+    auto p = small_params();
+    p.seed = seed;
+    wkld::World world(seed, p);
+    const int c = world.internet().add_client(topo::Region::kEurope, "c");
+    const int dc = world.internet().dc_endpoints()[0];
+    core::PacketLab lab(&world.internet());
+    return lab.run_direct(dc, c, sim::Time::seconds(6), sim::Time::hours(1)).bytes;
+  };
+  EXPECT_NE(run(101), run(102));
+}
+
+TEST(Determinism, PacketLabSeedChangesBackgroundDraws) {
+  wkld::World world(79, small_params());
+  const int c = world.internet().add_client(topo::Region::kEurope, "c");
+  const int dc = world.internet().dc_endpoints()[0];
+  core::PacketLab lab1(&world.internet(), 1);
+  core::PacketLab lab2(&world.internet(), 2);
+  const auto r1 = lab1.run_direct(dc, c, sim::Time::seconds(6), sim::Time::hours(1));
+  const auto r2 = lab2.run_direct(dc, c, sim::Time::seconds(6), sim::Time::hours(1));
+  // Same world, different instrument seeds: same ballpark, different bits.
+  EXPECT_NE(r1.bytes, r2.bytes);
+  EXPECT_NEAR(r1.goodput_bps, r2.goodput_bps, r1.goodput_bps * 1.5 + 1e6);
+}
+
+}  // namespace
+}  // namespace cronets

@@ -1,0 +1,144 @@
+// Shape tests for the experiment layer: small worlds, loose thresholds —
+// these guard the headline phenomena the figure benches report, without
+// pinning exact calibration numbers.
+
+#include <gtest/gtest.h>
+
+#include "wkld/experiments.h"
+
+namespace cronets::wkld {
+namespace {
+
+topo::TopologyParams small_params(std::uint64_t seed = 42) {
+  topo::TopologyParams p;
+  p.seed = seed;
+  p.num_tier1 = 8;
+  p.num_tier2 = 24;
+  p.num_stubs = 80;
+  return p;
+}
+
+TEST(WorldTest, PopulationsMatchPaperMix) {
+  World world(42, small_params());
+  const auto web = world.make_web_clients(110);
+  EXPECT_EQ(web.size(), 110u);
+  const auto servers = world.make_servers();
+  EXPECT_EQ(servers.size(), 10u);
+  const auto ctl = world.make_controlled_clients(50);
+  EXPECT_EQ(ctl.size(), 50u);
+  // Region mix of web clients ~ PlanetLab (48 EU of 110).
+  int eu = 0;
+  for (int ep : web) {
+    if (world.internet().endpoint(ep).region == topo::Region::kEurope) ++eu;
+  }
+  EXPECT_NEAR(eu, 48, 3);
+}
+
+TEST(WorldTest, PaperOverlaysAreTheFiveDcs) {
+  World world(42, small_params());
+  const auto overlays = world.rent_paper_overlays();
+  ASSERT_EQ(overlays.size(), 5u);
+  EXPECT_EQ(world.internet().endpoint(overlays[0]).name, "vm-wdc");
+  EXPECT_EQ(world.internet().endpoint(overlays[4]).name, "vm-tok");
+}
+
+TEST(ControlledExperiment, StructureAndHeadlineShape) {
+  World world(42, small_params());
+  const auto exp = run_controlled_experiment(world, 20);
+  // 20 clients x 5 senders = 100 measurements, 4 overlays each.
+  EXPECT_EQ(exp.samples.size(), 100u);
+  int improved = 0, valid = 0;
+  for (const auto& s : exp.samples) {
+    EXPECT_EQ(s.overlays.size(), 4u);
+    if (s.direct_bps <= 0) continue;
+    ++valid;
+    improved += s.best_split_bps() > s.direct_bps;
+  }
+  ASSERT_GT(valid, 80);
+  // The headline: a clear majority of paths improve via the best split
+  // overlay (paper: 74%).
+  const double frac = static_cast<double>(improved) / valid;
+  EXPECT_GT(frac, 0.55);
+  EXPECT_LT(frac, 0.97);
+}
+
+TEST(WebExperiment, SenderKindDoesNotFlipTheResult) {
+  // §III-B: cloud-hosted senders vs Internet servers give similar CDFs.
+  World w1(42, small_params());
+  const auto web = run_web_experiment(w1, 20);
+  World w2(42, small_params());
+  const auto ctl = run_controlled_experiment(w2, 20);
+  auto improved_fraction = [](const std::vector<core::PairSample>& v) {
+    int imp = 0, n = 0;
+    for (const auto& s : v) {
+      if (s.direct_bps <= 0) continue;
+      ++n;
+      imp += s.best_split_bps() > s.direct_bps;
+    }
+    return static_cast<double>(imp) / n;
+  };
+  EXPECT_NEAR(improved_fraction(web.samples), improved_fraction(ctl.samples), 0.25);
+}
+
+TEST(Longitudinal, RankingEventRecoversInFollowUp) {
+  World world(42, small_params());
+  const auto pipe = run_longitudinal_pipeline(world, 10, 6);
+  ASSERT_EQ(pipe.study.pairs.size(), 10u);
+  EXPECT_GE(pipe.event_victim, 0);
+  // Pairs are sorted by ranking improvement, descending.
+  for (std::size_t i = 1; i < pipe.study.pairs.size(); ++i) {
+    EXPECT_GE(pipe.study.pairs[i - 1].ranking_improvement,
+              pipe.study.pairs[i].ranking_improvement);
+  }
+  // The event victim's pairs rank near the top and recover afterwards.
+  bool victim_ranked = false;
+  for (std::size_t i = 0; i < 4 && i < pipe.study.pairs.size(); ++i) {
+    const auto& p = pipe.study.pairs[i];
+    if (p.dst != pipe.event_victim) continue;
+    victim_ranked = true;
+    double weekly_direct = 0;
+    for (double v : p.history.direct) weekly_direct += v;
+    weekly_direct /= static_cast<double>(p.history.direct.size());
+    double best = 0;
+    for (double v : p.best_split_series) best += v;
+    best /= static_cast<double>(p.best_split_series.size());
+    EXPECT_LT(best / weekly_direct, p.ranking_improvement / 3.0)
+        << "weekly ratio should collapse vs ranking-time ratio";
+  }
+  EXPECT_TRUE(victim_ranked);
+}
+
+TEST(Longitudinal, HistoriesAreComplete) {
+  World world(7, small_params(7));
+  const auto pipe = run_longitudinal_pipeline(world, 5, 8);
+  for (const auto& p : pipe.study.pairs) {
+    EXPECT_EQ(p.history.direct.size(), 8u);
+    EXPECT_EQ(p.history.overlay.size(), 8u);
+    EXPECT_EQ(p.history.direct_rtt_ms.size(), 8u);
+    EXPECT_EQ(p.history.overlay_rtt_ms.size(), 8u);
+    EXPECT_EQ(p.best_split_series.size(), 8u);
+    for (std::size_t t = 0; t < 8; ++t) {
+      EXPECT_EQ(p.history.overlay[t].size(), 4u);
+      double best = 0;
+      for (double v : p.history.overlay[t]) best = std::max(best, v);
+      EXPECT_DOUBLE_EQ(best, p.best_split_series[t]);
+    }
+  }
+}
+
+TEST(Longitudinal, GainsPersistOverTheWeek) {
+  World world(42, small_params());
+  const auto pipe = run_longitudinal_pipeline(world, 10, 10);
+  int persistent = 0;
+  for (const auto& p : pipe.study.pairs) {
+    double direct = 0, best = 0;
+    for (double v : p.history.direct) direct += v;
+    for (double v : p.best_split_series) best += v;
+    if (best > direct * 1.25) ++persistent;
+  }
+  // Paper: 90% of top paths stay improved. Loose bound: > 60%.
+  EXPECT_GT(persistent, 6);
+}
+
+}  // namespace
+}  // namespace cronets::wkld

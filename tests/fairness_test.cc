@@ -1,0 +1,111 @@
+// RFC 6356's design goal (quoted in §VI-C): MPTCP "does not take up more
+// capacity on its paths than a single-path TCP would at a shared
+// bottleneck". We verify it head-to-head: an MPTCP connection whose two
+// subflows BOTH cross one bottleneck competes against a single-path TCP
+// flow through the same bottleneck.
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "transport/apps.h"
+#include "transport/mptcp.h"
+
+namespace cronets::transport {
+namespace {
+
+using sim::Time;
+
+/// A and C share a bottleneck link R1->R2 toward B. A runs MPTCP with two
+/// subflows (both through the bottleneck, steered by an alias); C runs
+/// plain single-path TCP.
+struct SharedBottleneck {
+  sim::Simulator simv;
+  net::Network net{&simv, sim::Rng{29}};
+  net::Host* a;
+  net::Host* c;
+  net::Host* b;
+  net::IpAddr alias{0x0b000001};
+
+  SharedBottleneck() {
+    a = net.add_host("A");
+    c = net.add_host("C");
+    b = net.add_host("B");
+    auto* r1 = net.add_router("R1");
+    auto* r2 = net.add_router("R2");
+    net::LinkSpec acc, bot;
+    acc.capacity_bps = 1e9;
+    acc.prop_delay = Time::milliseconds(2);
+    bot.capacity_bps = 40e6;  // the contested link
+    bot.prop_delay = Time::milliseconds(20);
+    auto [a_r1, r1_a] = net.add_link(a, r1, acc);
+    auto [c_r1, r1_c] = net.add_link(c, r1, acc);
+    auto [r1_r2, r2_r1] = net.add_link(r1, r2, bot);
+    auto [r2_b, b_r2] = net.add_link(r2, b, acc);
+    // Forward routes.
+    for (net::IpAddr dst : {b->addr(), alias}) {
+      a->add_route(dst, a_r1);
+      c->add_route(dst, c_r1);
+      r1->add_route(dst, r1_r2);
+      r2->add_route(dst, r2_b);
+    }
+    b->add_alias(alias);
+    // Reverse routes.
+    b->add_route(a->addr(), b_r2);
+    b->add_route(c->addr(), b_r2);
+    r2->add_route(a->addr(), r2_r1);
+    r2->add_route(c->addr(), r2_r1);
+    r1->add_route(a->addr(), r1_a);
+    r1->add_route(c->addr(), r1_c);
+  }
+};
+
+struct Rates {
+  double mptcp_bps;
+  double tcp_bps;
+};
+
+Rates run_contest(Coupling coupling, Time duration) {
+  SharedBottleneck n;
+  TcpConfig cfg;
+  MptcpListener mp_sink(n.b, 5001, cfg);
+  BulkSink tcp_sink(n.b, 5002, cfg);
+
+  MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  mcfg.coupling = coupling;
+  MptcpConnection mp(n.a, 20000, {n.b->addr(), n.alias}, 5001, mcfg);
+  mp.set_infinite_source(true);
+  BulkSource tcp(n.c, 21000, n.b->addr(), 5002, cfg);
+
+  mp.connect();
+  tcp.start();
+  n.simv.run_until(duration);
+  const double secs = duration.to_seconds();
+  return Rates{mp_sink.bytes_delivered() * 8.0 / secs,
+               tcp_sink.bytes_received() * 8.0 / secs};
+}
+
+TEST(SharedBottleneckFairness, CoupledOliaDoesNotBullySinglePathTcp) {
+  const Rates r = run_contest(Coupling::kOlia, Time::seconds(30));
+  // Both should get a useful share of the 40M bottleneck...
+  EXPECT_GT(r.mptcp_bps + r.tcp_bps, 25e6);
+  // ...and coupled MPTCP must not grab much more than the single flow.
+  EXPECT_LT(r.mptcp_bps, r.tcp_bps * 1.8);
+}
+
+TEST(SharedBottleneckFairness, CoupledLiaDoesNotBullySinglePathTcp) {
+  const Rates r = run_contest(Coupling::kLia, Time::seconds(30));
+  EXPECT_GT(r.mptcp_bps + r.tcp_bps, 25e6);
+  EXPECT_LT(r.mptcp_bps, r.tcp_bps * 1.8);
+}
+
+TEST(SharedBottleneckFairness, UncoupledCubicTakesRoughlyTwoShares) {
+  // The flip side (§VI-C): two independent cubic subflows behave like two
+  // flows and should clearly out-grab the single TCP.
+  const Rates r = run_contest(Coupling::kUncoupledCubic, Time::seconds(30));
+  EXPECT_GT(r.mptcp_bps, r.tcp_bps * 1.3);
+}
+
+}  // namespace
+}  // namespace cronets::transport

@@ -1,0 +1,138 @@
+// The §IX future-work feature: a pair of MPTCP proxies lets plain-TCP
+// endpoints ride the overlay. Client (plain TCP) -> ingress proxy ->
+// MPTCP over two paths -> egress proxy -> server (plain TCP).
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "transport/apps.h"
+#include "transport/mptcp_proxy.h"
+
+namespace cronets::transport {
+namespace {
+
+using net::IpAddr;
+using sim::Time;
+
+/// client -- g1 (ingress gateway) == two disjoint paths == g2 (egress
+/// gateway) -- server. The gateway pair speaks MPTCP; client and server
+/// only ever see plain TCP.
+struct ProxyNet {
+  sim::Simulator simv;
+  net::Network net{&simv, sim::Rng{47}};
+  net::Host* client;
+  net::Host* g1;
+  net::Host* g2;
+  net::Host* server;
+  net::Link* path1_fwd;
+  IpAddr alias{0x0b000001};
+
+  ProxyNet(double cap1, double cap2) {
+    client = net.add_host("client");
+    g1 = net.add_host("g1");
+    g2 = net.add_host("g2");
+    server = net.add_host("server");
+    auto* r1 = net.add_router("R1");
+    auto* r2 = net.add_router("R2");
+    net::LinkSpec lan, p1, p2;
+    lan.capacity_bps = 1e9;
+    lan.prop_delay = Time::milliseconds(1);
+    p1.capacity_bps = cap1;
+    p1.prop_delay = Time::milliseconds(15);
+    p2.capacity_bps = cap2;
+    p2.prop_delay = Time::milliseconds(25);
+    auto [c_g1, g1_c] = net.add_link(client, g1, lan);
+    auto [g1_r1, r1_g1] = net.add_link(g1, r1, p1);
+    auto [r1_g2, g2_r1] = net.add_link(r1, g2, p1);
+    auto [g1_r2, r2_g1] = net.add_link(g1, r2, p2);
+    auto [r2_g2, g2_r2] = net.add_link(r2, g2, p2);
+    auto [g2_s, s_g2] = net.add_link(g2, server, lan);
+    path1_fwd = r1_g2;
+
+    // Client <-> g1.
+    client->add_route(g1->addr(), c_g1);
+    g1->add_route(client->addr(), g1_c);
+    // g1 -> g2 primary via r1; alias via r2.
+    g1->add_route(g2->addr(), g1_r1);
+    r1->add_route(g2->addr(), r1_g2);
+    g2->add_alias(alias);
+    g1->add_route(alias, g1_r2);
+    r2->add_route(alias, r2_g2);
+    // Reverse (ACKs) via r1.
+    g2->add_route(g1->addr(), g2_r1);
+    r1->add_route(g1->addr(), r1_g1);
+    r2->add_route(g1->addr(), r2_g1);
+    (void)g2_r2;
+    // g2 <-> server.
+    g2->add_route(server->addr(), g2_s);
+    server->add_route(g2->addr(), s_g2);
+  }
+};
+
+TEST(MptcpProxy, PlainTcpEndpointsRideTheOverlay) {
+  ProxyNet n(40e6, 40e6);
+  TcpConfig cfg;
+  BulkSink server_sink(n.server, 9000, cfg);
+  MptcpEgressProxy egress(n.g2, 4500, n.server->addr(), 9000, cfg);
+  MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  mcfg.coupling = Coupling::kUncoupledCubic;
+  MptcpIngressProxy ingress(n.g1, 8080, {n.g2->addr(), n.alias}, 4500, mcfg);
+
+  TcpConnection client(n.client, 1234, n.g1->addr(), 8080, cfg);
+  client.set_on_connected([&] { client.app_write(5'000'000); });
+  client.connect();
+  n.simv.run_until(Time::seconds(20));
+  EXPECT_EQ(server_sink.bytes_received(), 5'000'000u);
+  EXPECT_EQ(ingress.accepted_bytes(), 5'000'000u);
+  EXPECT_EQ(egress.relayed_bytes(), 5'000'000u);
+  // Both MPTCP paths carried data.
+  EXPECT_GT(ingress.mptcp().subflows()[0]->stats().bytes_sent, 200'000u);
+  EXPECT_GT(ingress.mptcp().subflows()[1]->stats().bytes_sent, 200'000u);
+}
+
+TEST(MptcpProxy, AggregatesBeyondSinglePathCapacity) {
+  // Two 20M paths: a plain TCP client stream should achieve well above a
+  // single path's worth end-to-end.
+  ProxyNet n(20e6, 20e6);
+  TcpConfig cfg;
+  BulkSink server_sink(n.server, 9000, cfg);
+  MptcpEgressProxy egress(n.g2, 4500, n.server->addr(), 9000, cfg);
+  MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  mcfg.coupling = Coupling::kUncoupledCubic;
+  MptcpIngressProxy ingress(n.g1, 8080, {n.g2->addr(), n.alias}, 4500, mcfg);
+
+  TcpConnection client(n.client, 1234, n.g1->addr(), 8080, cfg);
+  client.set_on_connected([&] { client.set_infinite_source(true); });
+  client.connect();
+  n.simv.run_until(Time::seconds(20));
+  const double bps = server_sink.bytes_received() * 8.0 / 20.0;
+  EXPECT_GT(bps, 24e6);  // > a single 20M path
+}
+
+TEST(MptcpProxy, SurvivesPathFailureTransparently) {
+  ProxyNet n(30e6, 30e6);
+  TcpConfig cfg;
+  cfg.max_consecutive_rtos = 4;
+  cfg.rto_initial = Time::milliseconds(200);
+  BulkSink server_sink(n.server, 9000, cfg);
+  MptcpEgressProxy egress(n.g2, 4500, n.server->addr(), 9000, cfg);
+  MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  MptcpIngressProxy ingress(n.g1, 8080, {n.g2->addr(), n.alias}, 4500, mcfg);
+
+  TcpConnection client(n.client, 1234, n.g1->addr(), 8080, cfg);
+  client.set_on_connected([&] { client.app_write(20'000'000); });
+  client.connect();
+  // Kill the primary inter-gateway path mid-transfer; the client's plain
+  // TCP connection must never notice.
+  n.simv.schedule_in(Time::seconds(3), [&] { n.path1_fwd->set_down(true); });
+  n.simv.run_until(Time::seconds(60));
+  EXPECT_EQ(server_sink.bytes_received(), 20'000'000u);
+  EXPECT_FALSE(client.failed());
+}
+
+}  // namespace
+}  // namespace cronets::transport

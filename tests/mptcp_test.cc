@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "transport/apps.h"
+#include "transport/mptcp.h"
+
+namespace cronets::transport {
+namespace {
+
+using net::IpAddr;
+using sim::Time;
+
+/// Two disjoint forward paths A->B: via r1 (cap1) and via r2 (cap2, used by
+/// the alias address). Reverse (ACK) traffic shares the r1 path.
+struct TwoPathNet {
+  sim::Simulator simv;
+  net::Network net{&simv, sim::Rng{11}};
+  net::Host* a;
+  net::Host* b;
+  net::Router* r1;
+  net::Router* r2;
+  net::Link* a_r1;
+  net::Link* r1_b;
+  net::Link* a_r2;
+  net::Link* r2_b;
+  IpAddr alias{0x0b000001};
+
+  TwoPathNet(double cap1, double cap2, Time d1 = Time::milliseconds(10),
+             Time d2 = Time::milliseconds(10), double loss1 = 0.0,
+             double loss2 = 0.0) {
+    a = net.add_host("A");
+    b = net.add_host("B");
+    r1 = net.add_router("R1");
+    r2 = net.add_router("R2");
+    net::LinkSpec s1, s2, acc;
+    acc.capacity_bps = 1e9;
+    acc.prop_delay = Time::milliseconds(1);
+    s1.capacity_bps = cap1;
+    s1.prop_delay = d1;
+    s1.background.base_loss = loss1;
+    s2.capacity_bps = cap2;
+    s2.prop_delay = d2;
+    s2.background.base_loss = loss2;
+    auto [l1, l1r] = net.add_link(a, r1, acc);
+    auto [l2, l2r] = net.add_link(r1, b, s1);
+    auto [l3, l3r] = net.add_link(a, r2, acc);
+    auto [l4, l4r] = net.add_link(r2, b, s2);
+    a_r1 = l1;
+    r1_b = l2;
+    a_r2 = l3;
+    r2_b = l4;
+    // Primary address via r1.
+    a->add_route(b->addr(), l1);
+    r1->add_route(b->addr(), l2);
+    // Alias via r2.
+    b->add_alias(alias);
+    a->add_route(alias, l3);
+    r2->add_route(alias, l4);
+    // Reverse path via r1.
+    b->add_route(a->addr(), l2r);
+    r1->add_route(a->addr(), l1r);
+    // Also give r2 a reverse route (for completeness).
+    r2->add_route(a->addr(), l3r);
+  }
+};
+
+double run_mptcp(TwoPathNet& n, Coupling coupling, Time duration) {
+  TcpConfig cfg;
+  MptcpListener listener(n.b, 5001, cfg);
+  MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  mcfg.coupling = coupling;
+  MptcpConnection conn(n.a, 20000, std::vector<IpAddr>{n.b->addr(), n.alias},
+                       5001, mcfg);
+  conn.set_infinite_source(true);
+  conn.connect();
+  n.simv.run_until(duration);
+  return static_cast<double>(listener.bytes_delivered()) * 8.0 /
+         duration.to_seconds();
+}
+
+TEST(Mptcp, HandshakeBringsUpBothSubflows) {
+  TwoPathNet n(50e6, 50e6);
+  TcpConfig cfg;
+  MptcpListener listener(n.b, 5001, cfg);
+  MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  MptcpConnection conn(n.a, 20000, {n.b->addr(), n.alias}, 5001, mcfg);
+  conn.connect();
+  n.simv.run_until(Time::seconds(2));
+  EXPECT_EQ(conn.alive_subflows(), 2u);
+  EXPECT_TRUE(conn.subflows()[0]->established());
+  EXPECT_TRUE(conn.subflows()[1]->established());
+}
+
+TEST(Mptcp, DeliversContiguousStream) {
+  TwoPathNet n(20e6, 20e6);
+  TcpConfig cfg;
+  MptcpListener listener(n.b, 5001, cfg);
+  std::int64_t delivered = 0;
+  listener.set_on_data([&](std::int64_t d) { delivered += d; });
+  MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  MptcpConnection conn(n.a, 20000, {n.b->addr(), n.alias}, 5001, mcfg);
+  conn.connect();
+  n.simv.run_until(Time::milliseconds(200));
+  conn.app_write(3'000'000);
+  n.simv.run_until(Time::seconds(10));
+  EXPECT_EQ(delivered, 3'000'000);
+  EXPECT_EQ(listener.bytes_delivered(), 3'000'000u);
+  // Both subflows should have carried data.
+  EXPECT_GT(conn.subflows()[0]->stats().bytes_sent, 100'000u);
+  EXPECT_GT(conn.subflows()[1]->stats().bytes_sent, 100'000u);
+}
+
+/// On lossy Internet-like paths (the paper's regime) the coupled controllers
+/// keep the aggregate near the best single path's loss-bound rate, while
+/// uncoupled subflows each claim their own Mathis share and sum up.
+TEST(Mptcp, CoupledOliaTracksBestPath) {
+  TwoPathNet lossy(200e6, 200e6, Time::milliseconds(10), Time::milliseconds(10),
+                   /*loss1=*/0.004, /*loss2=*/0.001);
+  const double coupled = run_mptcp(lossy, Coupling::kOlia, Time::seconds(20));
+  TwoPathNet solo(200e6, 200e6, Time::milliseconds(10), Time::milliseconds(10),
+                  0.004, 0.001);
+  TcpConfig cfg;
+  BulkSink sink(solo.b, 5001, cfg);
+  // Single-path TCP on the better (alias) path.
+  cfg.remote_addr = solo.alias;
+  BulkSource src(solo.a, 1234, solo.b->addr(), 5001, cfg);
+  src.start();
+  solo.simv.run_until(Time::seconds(20));
+  const double best_single = sink.bytes_received() * 8.0 / 20.0;
+  // OLIA aggregate ~ best single path (within generous 2x / 0.6x bounds;
+  // it must be far from the 1.5x+ a full sum would give).
+  EXPECT_GT(coupled, best_single * 0.6);
+  EXPECT_LT(coupled, best_single * 1.45);
+}
+
+TEST(Mptcp, CoupledLiaBoundedByBestPathScale) {
+  TwoPathNet n(200e6, 200e6, Time::milliseconds(10), Time::milliseconds(10),
+               0.004, 0.001);
+  const double bps = run_mptcp(n, Coupling::kLia, Time::seconds(20));
+  EXPECT_GT(bps, 5e6);
+  EXPECT_LT(bps, 40e6);  // far below what uncoupled cubic reaches
+}
+
+TEST(Mptcp, UncoupledCubicSumsSubflows) {
+  // Clean disjoint paths: uncoupled subflows saturate each link.
+  TwoPathNet n(40e6, 60e6);
+  const double bps = run_mptcp(n, Coupling::kUncoupledCubic, Time::seconds(15));
+  EXPECT_GT(bps, 80e6);
+}
+
+TEST(Mptcp, UncoupledBeatsCoupledOnLossyPaths) {
+  TwoPathNet a(200e6, 200e6, Time::milliseconds(10), Time::milliseconds(10),
+               0.002, 0.002);
+  const double coupled = run_mptcp(a, Coupling::kOlia, Time::seconds(20));
+  TwoPathNet b(200e6, 200e6, Time::milliseconds(10), Time::milliseconds(10),
+               0.002, 0.002);
+  const double uncoupled = run_mptcp(b, Coupling::kUncoupledCubic, Time::seconds(20));
+  EXPECT_GT(uncoupled, coupled * 1.25);
+}
+
+TEST(Mptcp, FailoverReinjectsOntoSurvivingSubflow) {
+  TwoPathNet n(50e6, 50e6);
+  TcpConfig cfg;
+  cfg.max_consecutive_rtos = 4;
+  cfg.rto_initial = Time::milliseconds(200);
+  MptcpListener listener(n.b, 5001, cfg);
+  MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  MptcpConnection conn(n.a, 20000, {n.b->addr(), n.alias}, 5001, mcfg);
+  conn.set_infinite_source(true);
+  conn.connect();
+  // Kill the primary path's forward link mid-transfer.
+  n.simv.schedule_in(Time::seconds(3), [&] { n.r1_b->set_down(true); });
+  n.simv.run_until(Time::seconds(20));
+  EXPECT_EQ(conn.alive_subflows(), 1u);
+  EXPECT_TRUE(conn.subflows()[0]->failed());
+  EXPECT_FALSE(conn.subflows()[1]->failed());
+  // The connection-level stream keeps advancing on the survivor: offered
+  // data minus a small in-flight tail has been contiguously acked.
+  EXPECT_GT(conn.data_acked(), 20'000'000u);
+}
+
+TEST(Mptcp, StreamSurvivesFailoverWithoutGaps) {
+  TwoPathNet n(30e6, 30e6);
+  TcpConfig cfg;
+  cfg.max_consecutive_rtos = 4;
+  cfg.rto_initial = Time::milliseconds(200);
+  MptcpListener listener(n.b, 5001, cfg);
+  std::int64_t delivered = 0;
+  listener.set_on_data([&](std::int64_t d) { delivered += d; });
+  MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  MptcpConnection conn(n.a, 20000, {n.b->addr(), n.alias}, 5001, mcfg);
+  conn.connect();
+  n.simv.run_until(Time::milliseconds(300));
+  conn.app_write(20'000'000);
+  n.simv.schedule_in(Time::seconds(2), [&] { n.r2_b->set_down(true); });
+  n.simv.run_until(Time::seconds(40));
+  // All 20 MB must arrive contiguously despite the path failure.
+  EXPECT_EQ(delivered, 20'000'000);
+}
+
+TEST(Mptcp, HeadOfLineStallTriggersOpportunisticReinjection) {
+  // Path 2 goes dark for 3 seconds — long enough to strand its in-flight
+  // DSS ranges (stalling contiguous delivery), short enough that the
+  // subflow survives (no failure-path reinjection). The HoL watchdog must
+  // re-offer the blocking range so path 1 carries the stream onward.
+  TwoPathNet n(30e6, 30e6);
+  TcpConfig cfg;
+  cfg.rto_initial = Time::milliseconds(300);
+  MptcpListener listener(n.b, 5001, cfg);
+  MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  MptcpConnection conn(n.a, 20000, {n.b->addr(), n.alias}, 5001, mcfg);
+  conn.set_infinite_source(true);
+  conn.connect();
+  n.simv.schedule_in(Time::seconds(3), [&] { n.r2_b->set_down(true); });
+  n.simv.schedule_in(Time::seconds(6), [&] { n.r2_b->set_down(false); });
+  n.simv.run_until(Time::seconds(15));
+  EXPECT_GT(conn.hol_reinjections(), 0u);
+  EXPECT_EQ(conn.alive_subflows(), 2u);  // the dark subflow recovered
+  // Delivery kept flowing at a useful rate despite the 3 s blackout.
+  EXPECT_GT(listener.bytes_delivered() * 8.0 / 15.0, 15e6);
+}
+
+TEST(Mptcp, TokensSeparateConcurrentConnections) {
+  TwoPathNet n(50e6, 50e6);
+  TcpConfig cfg;
+  MptcpListener listener(n.b, 5001, cfg);
+  MptcpConfig mcfg;
+  mcfg.subflow = cfg;
+  MptcpConnection c1(n.a, 20000, {n.b->addr(), n.alias}, 5001, mcfg);
+  MptcpConnection c2(n.a, 21000, {n.b->addr(), n.alias}, 5001, mcfg);
+  EXPECT_NE(c1.token(), c2.token());
+  c1.connect();
+  c2.connect();
+  n.simv.run_until(Time::milliseconds(500));
+  c1.app_write(1'000'000);
+  c2.app_write(2'000'000);
+  n.simv.run_until(Time::seconds(10));
+  EXPECT_EQ(listener.bytes_delivered(), 3'000'000u);
+}
+
+TEST(OliaUnit, AlphaShiftsTowardBetterPath) {
+  auto group = std::make_shared<CoupledGroup>();
+  OliaCc cc1(1460, group);
+  OliaCc cc2(1460, group);
+  // Leave slow start.
+  cc1.cap_slow_start();
+  cc2.cap_slow_start();
+  // Path 2 sees fewer losses (larger inter-loss byte counts).
+  group->member(0).srtt = Time::milliseconds(50);
+  group->member(1).srtt = Time::milliseconds(50);
+  group->member(0).bytes_since_loss = 1e5;
+  group->member(1).bytes_since_loss = 1e7;
+  const double w1_before = cc1.cwnd();
+  const double w2_before = cc2.cwnd();
+  for (int i = 0; i < 2000; ++i) {
+    cc1.on_ack(1460, Time::milliseconds(50), Time::seconds(i));
+    cc2.on_ack(1460, Time::milliseconds(50), Time::seconds(i));
+  }
+  const double g1 = cc1.cwnd() - w1_before;
+  const double g2 = cc2.cwnd() - w2_before;
+  EXPECT_GT(g2, g1);  // the better path grows faster
+}
+
+TEST(LiaUnit, AggregateIncreaseCappedAtBestPathRate) {
+  auto group = std::make_shared<CoupledGroup>();
+  LiaCc cc1(1460, group);
+  LiaCc cc2(1460, group);
+  cc1.cap_slow_start();
+  cc2.cap_slow_start();
+  group->member(0).srtt = Time::milliseconds(50);
+  group->member(1).srtt = Time::milliseconds(50);
+  // Per RFC 6356 the per-ack coupled increase never exceeds the uncoupled
+  // (Reno) increase on that subflow.
+  const double before = cc1.cwnd();
+  cc1.on_ack(1460, Time::milliseconds(50), Time::zero());
+  const double coupled_gain = cc1.cwnd() - before;
+  const double reno_gain = 1460.0 * 1460.0 / before;
+  EXPECT_LE(coupled_gain, reno_gain * 1.0001);
+}
+
+}  // namespace
+}  // namespace cronets::transport

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "net/background.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "transport/apps.h"
+
+namespace cronets::net {
+namespace {
+
+using sim::Time;
+
+Packet make_tcp_packet(IpAddr src, IpAddr dst, std::int64_t payload = 1000) {
+  Packet p;
+  p.headers.push_back(Ipv4Header{.src = src, .dst = dst, .proto = IpProto::kTcp});
+  TcpSegment seg;
+  seg.payload = payload;
+  p.body = seg;
+  return p;
+}
+
+TEST(PacketTest, SizeAccountsForEncapLayers) {
+  Packet p = make_tcp_packet(IpAddr{1}, IpAddr{2}, 1460);
+  EXPECT_EQ(p.size_bytes(), 1460 + kIpTcpHeaderBytes);
+  p.headers.push_back(Ipv4Header{.src = IpAddr{1}, .dst = IpAddr{9},
+                                 .proto = IpProto::kGre,
+                                 .encap_overhead = kGreOverheadBytes});
+  EXPECT_EQ(p.size_bytes(), 1460 + kIpTcpHeaderBytes + kGreOverheadBytes);
+  EXPECT_EQ(p.outer().dst, IpAddr{9});
+  EXPECT_EQ(p.inner().dst, IpAddr{2});
+}
+
+TEST(IpAddrTest, Printing) {
+  EXPECT_EQ(IpAddr{0x0a000001}.to_string(), "10.0.0.1");
+  EXPECT_EQ(IpAddr{0xc0a80164}.to_string(), "192.168.1.100");
+}
+
+TEST(LinkTest, DeliversAfterSerializationAndPropagation) {
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{1});
+  Host* a = net.add_host("a");
+  Host* b = net.add_host("b");
+  LinkSpec s;
+  s.capacity_bps = 8e6;  // 1 MB/s
+  s.prop_delay = Time::milliseconds(10);
+  auto [ab, ba] = net.add_link(a, b, s);
+  (void)ba;
+
+  // 1000-byte payload + 40 header = 1040 B => 1.04 ms serialization.
+  ab->send(make_tcp_packet(a->addr(), b->addr(), 1000));
+  simv.run_until(Time::milliseconds(30));
+  EXPECT_EQ(ab->stats().tx_packets, 1u);
+  EXPECT_EQ(ab->stats().tx_bytes, 1040u);
+  EXPECT_EQ(b->delivered_segments(), 0u);  // no sink bound: dropped at host
+}
+
+TEST(LinkTest, QueueOverflowDrops) {
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{1});
+  Host* a = net.add_host("a");
+  Host* b = net.add_host("b");
+  LinkSpec s;
+  s.capacity_bps = 1e6;
+  s.prop_delay = Time::milliseconds(1);
+  s.queue_limit_bytes = 3000;  // fits ~2 packets
+  auto [ab, ba] = net.add_link(a, b, s);
+  (void)ba;
+  for (int i = 0; i < 10; ++i) {
+    ab->send(make_tcp_packet(a->addr(), b->addr(), 1400));
+  }
+  simv.run_until(Time::seconds(2));
+  EXPECT_GT(ab->stats().queue_drops, 0u);
+  EXPECT_LT(ab->stats().tx_packets, 10u);
+}
+
+TEST(LinkTest, DownLinkDropsEverything) {
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{1});
+  Host* a = net.add_host("a");
+  Host* b = net.add_host("b");
+  auto [ab, ba] = net.add_link(a, b, LinkSpec{});
+  (void)ba;
+  ab->set_down(true);
+  EXPECT_TRUE(ab->is_down());
+  for (int i = 0; i < 5; ++i) ab->send(make_tcp_packet(a->addr(), b->addr()));
+  simv.run_until(Time::seconds(1));
+  EXPECT_EQ(ab->stats().tx_packets, 0u);
+  EXPECT_EQ(ab->stats().random_drops, 5u);
+}
+
+TEST(LinkTest, RandomLossMatchesConfiguredRate) {
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{5});
+  Host* a = net.add_host("a");
+  Host* b = net.add_host("b");
+  LinkSpec s;
+  s.capacity_bps = 1e9;
+  s.background.base_loss = 0.1;
+  auto [ab, ba] = net.add_link(a, b, s);
+  (void)ba;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) ab->send(make_tcp_packet(a->addr(), b->addr(), 100));
+  simv.run_until(Time::seconds(5));
+  const double loss_rate = static_cast<double>(ab->stats().random_drops) / n;
+  EXPECT_NEAR(loss_rate, 0.1, 0.02);
+}
+
+TEST(BackgroundTest, LossGrowsWithUtilization) {
+  BackgroundParams p;
+  p.base_loss = 1e-5;
+  EXPECT_NEAR(loss_from_utilization(p, 0.1), 1e-5, 1e-9);
+  EXPECT_GT(loss_from_utilization(p, 0.75), loss_from_utilization(p, 0.5));
+  EXPECT_GT(loss_from_utilization(p, 0.95), loss_from_utilization(p, 0.75));
+  EXPECT_LE(loss_from_utilization(p, 0.98), 0.5);
+}
+
+TEST(BackgroundTest, DiurnalComponentOscillates) {
+  BackgroundParams p;
+  p.diurnal_amp = 0.1;
+  p.diurnal_phase = 0.0;
+  const double at6h = diurnal_component(p, sim::Time::hours(6));    // sin(pi/2)
+  const double at18h = diurnal_component(p, sim::Time::hours(18));  // sin(3pi/2)
+  EXPECT_NEAR(at6h, 0.1, 1e-9);
+  EXPECT_NEAR(at18h, -0.1, 1e-9);
+  EXPECT_NEAR(diurnal_component(p, sim::Time::hours(24)), 0.0, 1e-9);
+}
+
+TEST(BackgroundTest, ProcessStaysNearMean) {
+  BackgroundParams p;
+  p.mean_util = 0.6;
+  p.sigma = 0.03;
+  BackgroundProcess bg(p, sim::Rng{9});
+  double sum = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double u = bg.utilization(sim::Time::milliseconds(500 * i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 0.98);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.6, 0.05);
+}
+
+TEST(BackgroundTest, EventWindowBoostsThenClears) {
+  BackgroundParams p;
+  p.mean_util = 0.2;
+  p.sigma = 0.0;
+  BackgroundProcess bg(p, sim::Rng{9});
+  bg.add_event(sim::Time::seconds(10), sim::Time::seconds(20), 0.5);
+  EXPECT_NEAR(bg.utilization(sim::Time::seconds(5)), 0.2, 1e-9);
+  EXPECT_NEAR(bg.utilization(sim::Time::seconds(15)), 0.7, 1e-9);
+  EXPECT_NEAR(bg.utilization(sim::Time::seconds(25)), 0.2, 1e-9);
+}
+
+TEST(RouterTest, DropsWithoutRouteCountsIt) {
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{1});
+  Host* a = net.add_host("a");
+  Router* r = net.add_router("r");
+  Host* b = net.add_host("b");
+  auto [ar, ra] = net.add_link(a, r, LinkSpec{});
+  net.add_link(r, b, LinkSpec{});
+  (void)ra;
+  // No routes installed at r.
+  ar->send(make_tcp_packet(a->addr(), b->addr()));
+  simv.run_until(Time::seconds(1));
+  EXPECT_EQ(r->no_route_drops(), 1u);
+  EXPECT_EQ(r->forwarded(), 0u);
+}
+
+TEST(RouterTest, TtlExpiryGeneratesTimeExceeded) {
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{1});
+  Host* a = net.add_host("a");
+  Router* r = net.add_router("r");
+  Host* b = net.add_host("b");
+  net.add_link(a, r, LinkSpec{});
+  net.add_link(r, b, LinkSpec{});
+  net.compute_routes();
+
+  bool got_time_exceeded = false;
+  a->set_icmp_sink([&](const IcmpMessage& m, IpAddr from) {
+    got_time_exceeded = m.type == IcmpType::kTimeExceeded;
+    EXPECT_EQ(from, r->addr());
+  });
+  Packet probe;
+  probe.headers.push_back(
+      Ipv4Header{.src = a->addr(), .dst = b->addr(), .proto = IpProto::kIcmp});
+  probe.ttl = 1;
+  IcmpMessage msg;
+  msg.type = IcmpType::kEchoRequest;
+  msg.probe_id = 42;
+  probe.body = msg;
+  a->send(std::move(probe));
+  simv.run_until(Time::seconds(1));
+  EXPECT_TRUE(got_time_exceeded);
+}
+
+TEST(HostTest, LoopbackDelivery) {
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{1});
+  Host* a = net.add_host("a");
+  struct Sink : SegmentSink {
+    int count = 0;
+    void on_packet(const Packet&) override { ++count; }
+  } sink;
+  a->bind(80, &sink);
+  Packet p = make_tcp_packet(a->addr(), a->addr());
+  p.tcp().dport = 80;
+  a->send(std::move(p));
+  simv.run_until(Time::seconds(1));
+  EXPECT_EQ(sink.count, 1);
+}
+
+TEST(HostTest, AliasAddressesAreLocal) {
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{1});
+  Host* a = net.add_host("a");
+  const IpAddr alias{0x0b000001};
+  EXPECT_FALSE(a->is_local_addr(alias));
+  a->add_alias(alias);
+  EXPECT_TRUE(a->is_local_addr(alias));
+  EXPECT_TRUE(a->is_local_addr(a->addr()));
+}
+
+TEST(HostTest, TapObservesBothDirections) {
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{1});
+  Host* a = net.add_host("a");
+  Host* b = net.add_host("b");
+  net.add_link(a, b, LinkSpec{});
+  net.compute_routes();
+  int in = 0, out = 0;
+  a->set_tap([&](const Packet&, Host::TapDir d) {
+    (d == Host::TapDir::kOut ? out : in) += 1;
+  });
+  transport::TcpConfig cfg;
+  transport::BulkSink sink(b, 5001, cfg);
+  transport::TcpConnection c(a, 1234, b->addr(), 5001, cfg);
+  c.set_on_connected([&] { c.app_write(10'000); });
+  c.connect();
+  simv.run_until(Time::seconds(5));
+  EXPECT_GT(out, 5);
+  EXPECT_GT(in, 2);
+}
+
+TEST(HostTest, EchoRequestAnswered) {
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{1});
+  Host* a = net.add_host("a");
+  Host* b = net.add_host("b");
+  net.add_link(a, b, LinkSpec{});
+  net.compute_routes();
+  bool got_reply = false;
+  a->set_icmp_sink([&](const IcmpMessage& m, IpAddr from) {
+    got_reply = m.type == IcmpType::kEchoReply && m.probe_id == 7;
+    EXPECT_EQ(from, b->addr());
+  });
+  Packet ping;
+  ping.headers.push_back(
+      Ipv4Header{.src = a->addr(), .dst = b->addr(), .proto = IpProto::kIcmp});
+  IcmpMessage msg;
+  msg.type = IcmpType::kEchoRequest;
+  msg.probe_id = 7;
+  ping.body = msg;
+  a->send(std::move(ping));
+  simv.run_until(Time::seconds(1));
+  EXPECT_TRUE(got_reply);
+}
+
+TEST(NetworkTest, ComputeRoutesPicksShortestDelay) {
+  // a - r1 - b (5ms) and a - r2 - b (50ms): traffic must take r1.
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{1});
+  Host* a = net.add_host("a");
+  Host* b = net.add_host("b");
+  Router* r1 = net.add_router("r1");
+  Router* r2 = net.add_router("r2");
+  LinkSpec fast, slow;
+  fast.prop_delay = Time::milliseconds(5);
+  slow.prop_delay = Time::milliseconds(50);
+  auto [a_r1, _1] = net.add_link(a, r1, fast);
+  auto [r1_b, _2] = net.add_link(r1, b, fast);
+  net.add_link(a, r2, slow);
+  net.add_link(r2, b, slow);
+  net.compute_routes();
+  EXPECT_EQ(a->route(b->addr()), a_r1);
+  EXPECT_EQ(r1->route(b->addr()), r1_b);
+}
+
+TEST(NetworkTest, InstallPathSetsHopByHopRoutes) {
+  sim::Simulator simv;
+  Network net(&simv, sim::Rng{1});
+  Host* a = net.add_host("a");
+  Router* r = net.add_router("r");
+  Host* b = net.add_host("b");
+  auto [ar, ra] = net.add_link(a, r, LinkSpec{});
+  auto [rb, br] = net.add_link(r, b, LinkSpec{});
+  (void)ra;
+  (void)br;
+  net.install_path({a, r, b}, b->addr());
+  EXPECT_EQ(a->route(b->addr()), ar);
+  EXPECT_EQ(r->route(b->addr()), rb);
+}
+
+}  // namespace
+}  // namespace cronets::net

@@ -1,0 +1,69 @@
+// RED queue discipline: early drops keep the standing queue (and thus the
+// flow's measured RTT) much lower than drop-tail at similar goodput.
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "transport/apps.h"
+
+namespace cronets::net {
+namespace {
+
+using sim::Time;
+
+struct Result {
+  double goodput_bps;
+  double avg_rtt_ms;
+  std::uint64_t red_drops;
+  std::uint64_t tail_drops;
+};
+
+Result run(QueueDiscipline qd) {
+  sim::Simulator simv;
+  Network netw(&simv, sim::Rng{7});
+  auto* a = netw.add_host("A");
+  auto* b = netw.add_host("B");
+  auto* r = netw.add_router("R");
+  LinkSpec acc, bot;
+  acc.capacity_bps = 1e9;
+  acc.prop_delay = Time::milliseconds(1);
+  bot.capacity_bps = 50e6;
+  bot.prop_delay = Time::milliseconds(10);
+  bot.queue_limit_bytes = 1024 * 1024;  // deep buffer: drop-tail will bloat
+  netw.add_link(a, r, acc);
+  auto [bottleneck, rev] = netw.add_link(r, b, bot);
+  (void)rev;
+  bottleneck->set_queue_discipline(qd);
+  netw.compute_routes();
+
+  transport::TcpConfig cfg;
+  transport::BulkSink sink(b, 5001, cfg);
+  transport::BulkSource src(a, 1234, b->addr(), 5001, cfg);
+  src.start();
+  simv.run_until(Time::seconds(20));
+  return Result{sink.bytes_received() * 8.0 / 20.0,
+                src.connection().stats().avg_rtt_ms(),
+                bottleneck->stats().red_drops, bottleneck->stats().queue_drops};
+}
+
+TEST(RedQueue, KeepsRttLowerThanDropTailAtSimilarGoodput) {
+  const Result droptail = run(QueueDiscipline::kDropTail);
+  const Result red = run(QueueDiscipline::kRed);
+  // Both should utilize the 50M bottleneck decently.
+  EXPECT_GT(droptail.goodput_bps, 30e6);
+  EXPECT_GT(red.goodput_bps, 30e6);
+  // RED drops early instead of letting the deep buffer fill.
+  EXPECT_GT(red.red_drops, 0u);
+  EXPECT_LT(red.avg_rtt_ms, droptail.avg_rtt_ms);
+}
+
+TEST(RedQueue, NoEarlyDropsWhenIdle) {
+  const Result red = run(QueueDiscipline::kRed);
+  // A single flow ramping up will trip RED eventually but not instantly;
+  // sanity: drops are bounded (not dropping everything).
+  EXPECT_LT(red.red_drops, 2000u);
+}
+
+}  // namespace
+}  // namespace cronets::net

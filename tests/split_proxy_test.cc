@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "transport/apps.h"
+#include "transport/split_proxy.h"
+
+namespace cronets::transport {
+namespace {
+
+using sim::Time;
+
+/// Chain A -- r1 -- O -- r2 -- B with configurable leg characteristics.
+struct ChainNet {
+  sim::Simulator simv;
+  net::Network net{&simv, sim::Rng{13}};
+  net::Host* a;
+  net::Host* o;
+  net::Host* b;
+
+  ChainNet(double cap1, Time d1, double loss1, double cap2, Time d2, double loss2) {
+    a = net.add_host("A");
+    o = net.add_host("O");
+    b = net.add_host("B");
+    auto* r1 = net.add_router("R1");
+    auto* r2 = net.add_router("R2");
+    net::LinkSpec s1, s2, acc;
+    acc.capacity_bps = 1e9;
+    acc.prop_delay = Time::milliseconds(1);
+    s1.capacity_bps = cap1;
+    s1.prop_delay = d1;
+    s1.background.base_loss = loss1;
+    s2.capacity_bps = cap2;
+    s2.prop_delay = d2;
+    s2.background.base_loss = loss2;
+    net.add_link(a, r1, acc);
+    net.add_link(r1, o, s1);
+    net.add_link(o, r2, acc);
+    net.add_link(r2, b, s2);
+    net.compute_routes();
+  }
+};
+
+TEST(SplitProxy, RelaysExactBytesEndToEnd) {
+  ChainNet n(100e6, Time::milliseconds(10), 0.0, 100e6, Time::milliseconds(10), 0.0);
+  TcpConfig cfg;
+  BulkSink sink(n.b, 5001, cfg);
+  SplitTcpProxy proxy(n.o, 5002, n.b->addr(), 5001, cfg);
+  TcpConnection client(n.a, 1234, n.o->addr(), 5002, cfg);
+  client.set_on_connected([&] { client.app_write(2'000'000); });
+  client.connect();
+  n.simv.run_until(Time::seconds(20));
+  EXPECT_EQ(sink.bytes_received(), 2'000'000u);
+  EXPECT_EQ(proxy.relayed_a2b(), 2'000'000u);
+}
+
+TEST(SplitProxy, ReverseDirectionRelays) {
+  // Server pushes a file back through the proxy (the paper's download
+  // direction: client connects via proxy, server sends data B -> A).
+  ChainNet n(100e6, Time::milliseconds(10), 0.0, 100e6, Time::milliseconds(10), 0.0);
+  TcpConfig cfg;
+  FileServer server(n.b, 5001, 1'000'000, cfg);
+  SplitTcpProxy proxy(n.o, 5002, n.b->addr(), 5001, cfg);
+  FileDownloader down(n.a, 1234, n.o->addr(), 5002, cfg);
+  down.start(&n.simv);
+  n.simv.run_until(Time::seconds(30));
+  EXPECT_TRUE(down.done());
+  EXPECT_EQ(down.bytes(), 1'000'000u);
+  EXPECT_EQ(proxy.relayed_b2a(), 1'000'000u);
+}
+
+TEST(SplitProxy, BeatsEndToEndTcpOnLossyLongPath) {
+  // Mathis: end-to-end TCP sees RTT ~200ms and the combined loss;
+  // split-TCP runs each ~100ms leg separately and should win clearly.
+  const double loss = 0.004;
+  const Time leg = Time::milliseconds(49);
+
+  double split_bps, direct_bps;
+  {
+    ChainNet n(200e6, leg, loss, 200e6, leg, loss);
+    TcpConfig cfg;
+    BulkSink sink(n.b, 5001, cfg);
+    SplitTcpProxy proxy(n.o, 5002, n.b->addr(), 5001, cfg);
+    BulkSource src(n.a, 1234, n.o->addr(), 5002, cfg);
+    src.start();
+    n.simv.run_until(Time::seconds(30));
+    split_bps = sink.bytes_received() * 8.0 / 30.0;
+  }
+  {
+    ChainNet n(200e6, leg, loss, 200e6, leg, loss);
+    TcpConfig cfg;
+    BulkSink sink(n.b, 5001, cfg);
+    BulkSource src(n.a, 1234, n.b->addr(), 5001, cfg);
+    src.start();
+    n.simv.run_until(Time::seconds(30));
+    direct_bps = sink.bytes_received() * 8.0 / 30.0;
+  }
+  // Halving the RTT roughly doubles the Mathis rate; loss per leg also
+  // halves, giving another sqrt(2). Expect a clear win.
+  EXPECT_GT(split_bps, direct_bps * 1.5);
+}
+
+TEST(SplitProxy, BackpressureBoundsProxyMemory) {
+  // Fast first leg into a slow second leg: the proxy buffer must stay
+  // bounded by the configured limit (receive-window backpressure).
+  ChainNet n(500e6, Time::milliseconds(2), 0.0, 5e6, Time::milliseconds(40), 0.0);
+  TcpConfig cfg;
+  const std::int64_t limit = 256 * 1024;
+  BulkSink sink(n.b, 5001, cfg);
+  SplitTcpProxy proxy(n.o, 5002, n.b->addr(), 5001, cfg, limit);
+  BulkSource src(n.a, 1234, n.o->addr(), 5002, cfg);
+  src.start();
+  n.simv.run_until(Time::seconds(20));
+  // Throughput follows the slow leg.
+  const double bps = sink.bytes_received() * 8.0 / 20.0;
+  EXPECT_GT(bps, 3e6);
+  EXPECT_LT(bps, 5.2e6);
+  // The client cannot have streamed unboundedly ahead of delivery: what A
+  // pushed is capped by delivered + proxy buffer + both legs' windows.
+  const std::uint64_t pushed = src.connection().stats().bytes_acked;
+  EXPECT_LT(pushed, sink.bytes_received() + 2 * static_cast<std::uint64_t>(limit) +
+                        8 * 1024 * 1024);
+}
+
+TEST(SplitProxy, ResolverSelectsDestinationPerPeer) {
+  ChainNet n(100e6, Time::milliseconds(5), 0.0, 100e6, Time::milliseconds(5), 0.0);
+  TcpConfig cfg;
+  BulkSink sink(n.b, 5001, cfg);
+  SplitTcpProxy proxy(n.o, 5002, net::IpAddr{0}, 0, cfg);
+  proxy.set_dest_resolver([&](net::IpAddr) {
+    return std::make_pair(n.b->addr(), net::TransportPort{5001});
+  });
+  TcpConnection client(n.a, 1234, n.o->addr(), 5002, cfg);
+  client.set_on_connected([&] { client.app_write(100'000); });
+  client.connect();
+  n.simv.run_until(Time::seconds(5));
+  EXPECT_EQ(sink.bytes_received(), 100'000u);
+}
+
+TEST(SplitProxy, ConcurrentClientsAreIsolated) {
+  ChainNet n(100e6, Time::milliseconds(5), 0.0, 100e6, Time::milliseconds(5), 0.0);
+  TcpConfig cfg;
+  // Each client's bytes must arrive on its own forward connection.
+  std::map<net::TransportPort, std::int64_t> per_conn;
+  TcpListener server(n.b, 5001, cfg);
+  server.set_on_accept([&](TcpConnection& c) {
+    const net::TransportPort peer = c.remote_port();
+    c.set_on_data([&per_conn, peer](std::int64_t d, std::uint64_t) {
+      per_conn[peer] += d;
+    });
+  });
+  SplitTcpProxy proxy(n.o, 5002, n.b->addr(), 5001, cfg);
+  TcpConnection c1(n.a, 1234, n.o->addr(), 5002, cfg);
+  TcpConnection c2(n.a, 1235, n.o->addr(), 5002, cfg);
+  TcpConnection c3(n.a, 1236, n.o->addr(), 5002, cfg);
+  c1.set_on_connected([&] { c1.app_write(111'000); });
+  c2.set_on_connected([&] { c2.app_write(222'000); });
+  c3.set_on_connected([&] { c3.app_write(333'000); });
+  c1.connect();
+  c2.connect();
+  c3.connect();
+  n.simv.run_until(Time::seconds(15));
+  // Three separate forward connections, each with exactly its client's bytes.
+  ASSERT_EQ(per_conn.size(), 3u);
+  std::vector<std::int64_t> sizes;
+  for (auto& [port, bytes] : per_conn) sizes.push_back(bytes);
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::int64_t>{111'000, 222'000, 333'000}));
+  EXPECT_EQ(proxy.relayed_a2b(), 666'000u);
+}
+
+TEST(SplitProxy, CloseCascadesThroughBothLegs) {
+  ChainNet n(100e6, Time::milliseconds(5), 0.0, 100e6, Time::milliseconds(5), 0.0);
+  TcpConfig cfg;
+  bool server_saw_close = false;
+  TcpListener server(n.b, 5001, cfg);
+  std::int64_t server_bytes = 0;
+  server.set_on_accept([&](TcpConnection& c) {
+    c.set_on_data([&](std::int64_t d, std::uint64_t) { server_bytes += d; });
+    c.set_on_peer_closed([&] { server_saw_close = true; });
+  });
+  SplitTcpProxy proxy(n.o, 5002, n.b->addr(), 5001, cfg);
+  TcpConnection client(n.a, 1234, n.o->addr(), 5002, cfg);
+  client.set_on_connected([&] {
+    client.app_write(500'000);
+    client.close();
+  });
+  client.connect();
+  n.simv.run_until(Time::seconds(10));
+  EXPECT_EQ(server_bytes, 500'000);
+  EXPECT_TRUE(server_saw_close);
+}
+
+}  // namespace
+}  // namespace cronets::transport

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "transport/apps.h"
+#include "transport/tcp.h"
+
+namespace cronets::transport {
+namespace {
+
+using cronets::testutil::Dumbbell;
+using cronets::testutil::mk_link;
+using sim::Time;
+
+TEST(TcpHandshake, EstablishesBothSides) {
+  Dumbbell d;
+  TcpConfig cfg;
+  TcpListener listener(d.b, 80, cfg);
+  bool server_up = false;
+  listener.set_on_accept([&](TcpConnection& c) {
+    c.set_on_connected([&] { server_up = true; });
+  });
+  TcpConnection client(d.a, 1234, d.b->addr(), 80, cfg);
+  bool client_up = false;
+  client.set_on_connected([&] { client_up = true; });
+  client.connect();
+  d.simv.run_until(Time::seconds(2));
+  EXPECT_TRUE(client_up);
+  EXPECT_TRUE(server_up);
+  EXPECT_TRUE(client.established());
+}
+
+TEST(TcpTransfer, DeliversExactByteCount) {
+  Dumbbell d;
+  TcpConfig cfg;
+  TcpListener listener(d.b, 80, cfg);
+  std::int64_t received = 0;
+  listener.set_on_accept([&](TcpConnection& c) {
+    c.set_on_data([&](std::int64_t n, std::uint64_t) { received += n; });
+  });
+  TcpConnection client(d.a, 1234, d.b->addr(), 80, cfg);
+  client.set_on_connected([&] { client.app_write(1'000'000); });
+  client.connect();
+  d.simv.run_until(Time::seconds(10));
+  EXPECT_EQ(received, 1'000'000);
+}
+
+TEST(TcpTransfer, CleanCloseBothDirections) {
+  Dumbbell d;
+  TcpConfig cfg;
+  TcpListener listener(d.b, 80, cfg);
+  bool server_saw_close = false;
+  listener.set_on_accept([&](TcpConnection& c) {
+    c.set_on_peer_closed([&] { server_saw_close = true; });
+  });
+  TcpConnection client(d.a, 1234, d.b->addr(), 80, cfg);
+  bool closed = false;
+  client.set_on_closed([&] { closed = true; });
+  client.set_on_connected([&] {
+    client.app_write(50'000);
+    client.close();
+  });
+  client.connect();
+  d.simv.run_until(Time::seconds(10));
+  EXPECT_TRUE(server_saw_close);
+  // Our close completes when the passive side also closes; the listener
+  // connection stays half-open (server never closes), so client should be
+  // in FinWait with all data acked.
+  EXPECT_TRUE(closed || client.state() == TcpConnection::State::kFinWait);
+  EXPECT_EQ(client.stats().bytes_acked, 50'000u);
+}
+
+TEST(TcpTransfer, FileServerDownloadCompletes) {
+  Dumbbell d;
+  TcpConfig cfg;
+  FileServer server(d.b, 80, 500'000, cfg);
+  FileDownloader down(d.a, 1234, d.b->addr(), 80, cfg);
+  down.start(&d.simv);
+  d.simv.run_until(Time::seconds(30));
+  EXPECT_TRUE(down.done());
+  EXPECT_EQ(down.bytes(), 500'000u);
+  EXPECT_GT(down.goodput_bps(), 0.0);
+}
+
+TEST(TcpThroughput, SaturatesCleanBottleneck) {
+  // 100 Mbps bottleneck, 20 ms RTT, no loss: bulk TCP should reach >80%.
+  Dumbbell d(mk_link(1e9, Time::milliseconds(1)),
+             mk_link(100e6, Time::milliseconds(10)));
+  TcpConfig cfg;
+  BulkSink sink(d.b, 5001, cfg);
+  BulkSource src(d.a, 1234, d.b->addr(), 5001, cfg);
+  src.start();
+  d.simv.run_until(Time::seconds(10));
+  const double bps = sink.bytes_received() * 8.0 / 10.0;
+  EXPECT_GT(bps, 80e6);
+  EXPECT_LT(bps, 100e6);
+}
+
+TEST(TcpThroughput, RttLimitsWindowBoundFlow) {
+  // Tiny receive buffer: throughput == rwnd / RTT.
+  Dumbbell d(mk_link(1e9, Time::milliseconds(1)),
+             mk_link(1e9, Time::milliseconds(49)));  // RTT = 100 ms
+  TcpConfig cfg;
+  cfg.rcv_buf = 128 * 1024;  // 128 KB / 100 ms ~ 10.5 Mbps
+  BulkSink sink(d.b, 5001, cfg);
+  BulkSource src(d.a, 1234, d.b->addr(), 5001, cfg);
+  src.start();
+  d.simv.run_until(Time::seconds(20));
+  const double bps = sink.bytes_received() * 8.0 / 20.0;
+  EXPECT_NEAR(bps, 128.0 * 1024 * 8 / 0.1, 2.5e6);
+}
+
+TEST(TcpLoss, RecoversViaFastRetransmit) {
+  Dumbbell d(mk_link(1e9, Time::milliseconds(1)),
+             mk_link(100e6, Time::milliseconds(10), /*util=*/0.0,
+                     /*loss=*/0.002));
+  TcpConfig cfg;
+  BulkSink sink(d.b, 5001, cfg);
+  BulkSource src(d.a, 1234, d.b->addr(), 5001, cfg);
+  src.start();
+  d.simv.run_until(Time::seconds(20));
+  EXPECT_GT(sink.bytes_received(), 10'000'000u);  // still makes progress
+  EXPECT_GT(src.connection().stats().fast_retx_count, 0u);
+  EXPECT_GT(src.connection().stats().bytes_retransmitted, 0u);
+}
+
+TEST(TcpLoss, SurvivesHeavyLossViaRto) {
+  Dumbbell d(mk_link(1e9, Time::milliseconds(1)),
+             mk_link(10e6, Time::milliseconds(40), 0.0, /*loss=*/0.05));
+  TcpConfig cfg;
+  BulkSink sink(d.b, 5001, cfg);
+  BulkSource src(d.a, 1234, d.b->addr(), 5001, cfg);
+  src.start();
+  d.simv.run_until(Time::seconds(30));
+  EXPECT_GT(sink.bytes_received(), 100'000u);
+  EXPECT_GT(src.connection().stats().rto_count, 0u);
+}
+
+TEST(TcpStats, RetransmissionRateTracksLinkLoss) {
+  Dumbbell d(mk_link(1e9, Time::milliseconds(1)),
+             mk_link(100e6, Time::milliseconds(10), 0.0, /*loss=*/0.01));
+  TcpConfig cfg;
+  BulkSink sink(d.b, 5001, cfg);
+  BulkSource src(d.a, 1234, d.b->addr(), 5001, cfg);
+  src.start();
+  d.simv.run_until(Time::seconds(30));
+  const double rate = src.connection().stats().retransmission_rate();
+  EXPECT_GT(rate, 0.004);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(TcpStats, AvgRttReflectsPathDelay) {
+  Dumbbell d(mk_link(1e9, Time::milliseconds(5)),
+             mk_link(1e9, Time::milliseconds(45)));  // base RTT 100 ms
+  TcpConfig cfg;
+  BulkSink sink(d.b, 5001, cfg);
+  BulkSource src(d.a, 1234, d.b->addr(), 5001, cfg);
+  src.start();
+  d.simv.run_until(Time::seconds(10));
+  const double rtt = src.connection().stats().avg_rtt_ms();
+  EXPECT_GT(rtt, 95.0);
+  EXPECT_LT(rtt, 160.0);  // queueing + delayed acks may inflate
+}
+
+TEST(TcpFlowControl, ZeroWindowBackpressureAndReopen) {
+  Dumbbell d;
+  TcpConfig cfg;
+  cfg.rcv_buf = 64 * 1024;
+  TcpListener listener(d.b, 80, cfg);
+  TcpConnection* server_conn = nullptr;
+  std::int64_t delivered = 0;
+  listener.set_on_accept([&](TcpConnection& c) {
+    server_conn = &c;
+    c.set_auto_consume(false);
+    c.set_on_data([&](std::int64_t n, std::uint64_t) { delivered += n; });
+  });
+  TcpConnection client(d.a, 1234, d.b->addr(), 80, cfg);
+  client.set_on_connected([&] { client.app_write(1'000'000); });
+  client.connect();
+  d.simv.run_until(Time::seconds(5));
+  // Receiver never consumed: at most one buffer's worth delivered.
+  EXPECT_LE(delivered, 64 * 1024);
+  EXPECT_GT(delivered, 0);
+  const std::int64_t stalled = delivered;
+  // Consume everything: window reopens and transfer continues.
+  ASSERT_NE(server_conn, nullptr);
+  std::int64_t consumed = stalled;
+  server_conn->app_consume(stalled);
+  server_conn->set_on_data([&](std::int64_t n, std::uint64_t) {
+    delivered += n;
+    consumed += n;
+    server_conn->app_consume(n);
+  });
+  d.simv.run_until(Time::seconds(60));
+  EXPECT_EQ(delivered, 1'000'000);
+}
+
+TEST(TcpFailure, ConsecutiveRtosFailConnection) {
+  // Server host exists but sink port is never bound -> SYN black-holed.
+  Dumbbell d;
+  TcpConfig cfg;
+  cfg.max_consecutive_rtos = 3;
+  cfg.rto_initial = Time::milliseconds(100);
+  TcpConnection client(d.a, 1234, d.b->addr(), 80, cfg);
+  bool failed = false;
+  client.set_on_failed([&] { failed = true; });
+  client.connect();
+  d.simv.run_until(Time::seconds(30));
+  EXPECT_TRUE(failed);
+  EXPECT_TRUE(client.failed());
+}
+
+TEST(TcpCubic, GrowsBeyondRenoOnLongFatPath) {
+  // Sanity: cubic reaches high utilization on a 200ms, 100 Mbps path.
+  Dumbbell d(mk_link(1e9, Time::milliseconds(1)),
+             mk_link(100e6, Time::milliseconds(99)));
+  TcpConfig cfg;
+  cfg.cc = CubicCc::factory();
+  cfg.rcv_buf = 16 * 1024 * 1024;
+  BulkSink sink(d.b, 5001, cfg);
+  BulkSource src(d.a, 1234, d.b->addr(), 5001, cfg);
+  src.start();
+  d.simv.run_until(Time::seconds(30));
+  // HyStart caps the initial burst; cubic then probes upward with its
+  // characteristic ~K-second plateau, so the 30 s average sits well below
+  // link rate but far above what Reno's 1 MSS/RTT growth could reach.
+  const double bps = sink.bytes_received() * 8.0 / 30.0;
+  EXPECT_GT(bps, 40e6);
+  EXPECT_EQ(src.connection().stats().rto_count, 0u);
+}
+
+TEST(TcpDelack, AckCountStaysWellBelowDataCount) {
+  Dumbbell d;
+  TcpConfig cfg;
+  TcpListener listener(d.b, 80, cfg);
+  TcpConnection* server_conn = nullptr;
+  listener.set_on_accept([&](TcpConnection& c) { server_conn = &c; });
+  TcpConnection client(d.a, 1234, d.b->addr(), 80, cfg);
+  client.set_on_connected([&] { client.app_write(2'000'000); });
+  client.connect();
+  d.simv.run_until(Time::seconds(10));
+  ASSERT_NE(server_conn, nullptr);
+  // Delayed acks: server sends roughly one ack per two data segments.
+  EXPECT_LT(server_conn->stats().segs_sent,
+            client.stats().segs_sent * 3 / 4);
+}
+
+}  // namespace
+}  // namespace cronets::transport

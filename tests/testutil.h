@@ -1,0 +1,47 @@
+#pragma once
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace cronets::testutil {
+
+/// A minimal dumbbell: host A -- router R -- host B, with configurable
+/// bottleneck characteristics on the R--B hop.
+struct Dumbbell {
+  sim::Simulator simv;
+  net::Network net{&simv, sim::Rng{7}};
+  net::Host* a = nullptr;
+  net::Host* b = nullptr;
+  net::Router* r = nullptr;
+
+  explicit Dumbbell(const net::LinkSpec& access = {},
+                    const net::LinkSpec& bottleneck = default_bottleneck()) {
+    a = net.add_host("A");
+    b = net.add_host("B");
+    r = net.add_router("R");
+    net.add_link(a, r, access);
+    net.add_link(r, b, bottleneck);
+    net.compute_routes();
+  }
+
+  static net::LinkSpec default_bottleneck() {
+    net::LinkSpec s;
+    s.capacity_bps = 100e6;
+    s.prop_delay = sim::Time::milliseconds(10);
+    return s;
+  }
+};
+
+/// LinkSpec helper.
+inline net::LinkSpec mk_link(double bps, sim::Time delay, double mean_util = 0.0,
+                             double base_loss = 0.0) {
+  net::LinkSpec s;
+  s.capacity_bps = bps;
+  s.prop_delay = delay;
+  s.background.mean_util = mean_util;
+  s.background.base_loss = base_loss;
+  s.background.sigma = mean_util > 0 ? 0.02 : 0.0;
+  return s;
+}
+
+}  // namespace cronets::testutil

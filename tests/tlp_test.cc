@@ -1,0 +1,103 @@
+// Tail Loss Probe behaviour: a tail drop on an otherwise idle connection
+// should be repaired by the TLP probe in ~2 SRTT instead of waiting for the
+// full RTO (and its exponential backoff).
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "transport/apps.h"
+#include "transport/tcp.h"
+
+namespace cronets::transport {
+namespace {
+
+using sim::Time;
+
+struct TailNet {
+  sim::Simulator simv;
+  net::Network net{&simv, sim::Rng{41}};
+  net::Host* a;
+  net::Host* b;
+  net::Link* a_r;
+
+  TailNet() {
+    a = net.add_host("A");
+    b = net.add_host("B");
+    auto* r = net.add_router("R");
+    net::LinkSpec s;
+    s.capacity_bps = 100e6;
+    s.prop_delay = Time::milliseconds(20);
+    auto [fwd, rev] = net.add_link(a, r, s);
+    a_r = fwd;
+    (void)rev;
+    net.add_link(r, b, s);
+    net.compute_routes();
+  }
+};
+
+/// Send `bytes`, dropping everything on the A->R link during
+/// [blackout_from, blackout_to] — sized to swallow exactly the tail of the
+/// burst. Returns the time at which all bytes were delivered.
+double tail_loss_completion_seconds(bool tlp_enabled) {
+  TailNet n;
+  TcpConfig cfg;
+  cfg.enable_tlp = tlp_enabled;
+  TcpListener listener(n.b, 80, cfg);
+  std::int64_t delivered = 0;
+  double done_at = -1.0;
+  listener.set_on_accept([&](TcpConnection& c) {
+    c.set_on_data([&](std::int64_t d, std::uint64_t) {
+      delivered += d;
+      if (delivered == 200'000) done_at = n.simv.now().to_seconds();
+    });
+  });
+  TcpConnection client(n.a, 1234, n.b->addr(), 80, cfg);
+  client.set_on_connected([&] { client.app_write(200'000); });
+  client.connect();
+  // Blackout that swallows the tail of the transfer: the window ramp means
+  // the last segments leave around 250-400 ms in.
+  n.simv.schedule_at(Time::milliseconds(330), [&] { n.a_r->set_down(true); });
+  n.simv.schedule_at(Time::milliseconds(430), [&] { n.a_r->set_down(false); });
+  n.simv.run_until(Time::seconds(30));
+  EXPECT_EQ(delivered, 200'000) << "transfer must complete (tlp=" << tlp_enabled << ")";
+  return done_at;
+}
+
+TEST(TailLossProbe, RepairsTailFasterThanRto) {
+  const double with_tlp = tail_loss_completion_seconds(true);
+  const double without = tail_loss_completion_seconds(false);
+  ASSERT_GT(with_tlp, 0.0);
+  ASSERT_GT(without, 0.0);
+  // TLP should not be slower, and typically is clearly faster.
+  EXPECT_LE(with_tlp, without + 1e-9);
+}
+
+TEST(TailLossProbe, ProbesFireUnderLoss) {
+  TailNet n;
+  TcpConfig cfg;
+  TcpListener listener(n.b, 80, cfg);
+  TcpConnection client(n.a, 1234, n.b->addr(), 80, cfg);
+  client.set_on_connected([&] { client.app_write(500'000); });
+  client.connect();
+  n.simv.schedule_at(Time::milliseconds(300), [&] { n.a_r->set_down(true); });
+  n.simv.schedule_at(Time::milliseconds(500), [&] { n.a_r->set_down(false); });
+  n.simv.run_until(Time::seconds(20));
+  EXPECT_GT(client.stats().tlp_probes, 0u);
+}
+
+TEST(TailLossProbe, NoProbesOnCleanIdleConnection) {
+  TailNet n;
+  TcpConfig cfg;
+  TcpListener listener(n.b, 80, cfg);
+  TcpConnection client(n.a, 1234, n.b->addr(), 80, cfg);
+  client.set_on_connected([&] { client.app_write(100'000); });
+  client.connect();
+  n.simv.run_until(Time::seconds(10));
+  // Everything acked; the armed TLP timers must all have been cancelled.
+  EXPECT_EQ(client.stats().tlp_probes, 0u);
+  EXPECT_EQ(client.stats().rto_count, 0u);
+}
+
+}  // namespace
+}  // namespace cronets::transport

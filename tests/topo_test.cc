@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "topo/internet.h"
+#include "topo/materialize.h"
+#include "transport/apps.h"
+
+namespace cronets::topo {
+namespace {
+
+using sim::Time;
+
+TopologyParams small_params(std::uint64_t seed = 5) {
+  TopologyParams p;
+  p.seed = seed;
+  p.num_tier1 = 6;
+  p.num_tier2 = 14;
+  p.num_stubs = 40;
+  return p;
+}
+
+TEST(Geo, DistanceAndDelaySanity) {
+  const GeoPoint ny{40.7, -74.0};
+  const GeoPoint london{51.5, -0.1};
+  const double d = distance_km(ny, london);
+  EXPECT_NEAR(d, 5570, 200);  // well-known great-circle distance
+  EXPECT_GT(propagation_ms(d), 25.0);
+  EXPECT_LT(propagation_ms(d), 50.0);
+  EXPECT_DOUBLE_EQ(distance_km(ny, ny), 0.0);
+}
+
+TEST(Internet, GeneratesExpectedStructure) {
+  Internet net(small_params(), CloudParams{});
+  int t1 = 0, t2 = 0, stub = 0, dc = 0;
+  for (const auto& as : net.ases()) {
+    switch (as.tier) {
+      case Tier::kTier1: ++t1; break;
+      case Tier::kTier2: ++t2; break;
+      case Tier::kStub: ++stub; break;
+      case Tier::kCloudDc: ++dc; break;
+    }
+    EXPECT_FALSE(as.routers.empty());
+    const std::size_t per_border = as.agg_routers.empty() ? 1 : 2;
+    EXPECT_EQ(as.intra_links.size(), per_border * (as.routers.size() - 1));
+  }
+  EXPECT_EQ(t1, 6);
+  EXPECT_EQ(t2, 14);
+  EXPECT_EQ(stub, 40);
+  EXPECT_EQ(dc, 7);  // default CloudParams
+  EXPECT_EQ(net.dc_endpoints().size(), 7u);
+}
+
+TEST(Internet, DeterministicForSeed) {
+  Internet a(small_params(9), CloudParams{});
+  Internet b(small_params(9), CloudParams{});
+  ASSERT_EQ(a.links().size(), b.links().size());
+  for (std::size_t i = 0; i < a.links().size(); ++i) {
+    EXPECT_EQ(a.links()[i].router_a, b.links()[i].router_a);
+    EXPECT_DOUBLE_EQ(a.links()[i].bg_fwd.mean_util, b.links()[i].bg_fwd.mean_util);
+  }
+  // A different seed produces a world with a different condition
+  // fingerprint (counts can coincide; the drawn utilizations cannot).
+  Internet c(small_params(10), CloudParams{});
+  double fp_a = 0, fp_c = 0;
+  for (const auto& l : a.links()) fp_a += l.bg_fwd.mean_util + l.delay_ms;
+  for (const auto& l : c.links()) fp_c += l.bg_fwd.mean_util + l.delay_ms;
+  EXPECT_NE(fp_a, fp_c);
+}
+
+TEST(Internet, EveryStubReachesEveryDc) {
+  Internet net(small_params(), CloudParams{});
+  for (const auto& as : net.ases()) {
+    if (as.tier != Tier::kStub) continue;
+    for (int dc_ep : net.dc_endpoints()) {
+      const int dst_as = net.endpoint(dc_ep).as_id;
+      EXPECT_FALSE(net.routing().as_path(as.id, dst_as).empty())
+          << as.name << " cannot reach " << net.ases()[dst_as].name;
+    }
+  }
+}
+
+TEST(Routing, PathsAreValleyFree) {
+  Internet net(small_params(), CloudParams{});
+  auto rel_between = [&](int a, int b) -> Rel {
+    for (const auto& adj : net.ases()[a].adj) {
+      if (adj.nbr_as == b) return adj.rel;
+    }
+    ADD_FAILURE() << "no adjacency " << a << "->" << b;
+    return Rel::kPeerWith;
+  };
+  // Check a sample of stub-to-stub paths.
+  std::vector<int> stubs;
+  for (const auto& as : net.ases()) {
+    if (as.tier == Tier::kStub) stubs.push_back(as.id);
+  }
+  int checked = 0;
+  for (std::size_t i = 0; i < stubs.size() && checked < 200; i += 3) {
+    for (std::size_t j = 1; j < stubs.size() && checked < 200; j += 7) {
+      if (stubs[i] == stubs[j]) continue;
+      const auto path = net.routing().as_path(stubs[i], stubs[j]);
+      if (path.empty()) continue;
+      ++checked;
+      // Pattern: (customer->provider)* (peer)? (provider->customer)*.
+      int phase = 0;  // 0=up, 1=after peer, 2=down
+      for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+        const Rel rel = rel_between(path[k], path[k + 1]);
+        if (rel == Rel::kCustomerOf) {
+          EXPECT_EQ(phase, 0) << "up edge after going flat/down";
+        } else if (rel == Rel::kPeerWith) {
+          EXPECT_LE(phase, 0) << "second peer edge or peer after down";
+          phase = 1;
+        } else {
+          phase = 2;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(Routing, PathEndpointsAndAdjacency) {
+  Internet net(small_params(), CloudParams{});
+  const int c1 = net.add_client(Region::kEurope, "c1");
+  const int c2 = net.add_client(Region::kAsia, "c2");
+  RouterPath p = net.path(c1, c2);
+  ASSERT_TRUE(p.valid);
+  EXPECT_EQ(p.as_seq.front(), net.endpoint(c1).as_id);
+  EXPECT_EQ(p.as_seq.back(), net.endpoint(c2).as_id);
+  EXPECT_EQ(p.routers.front(), net.endpoint(c1).access_router);
+  EXPECT_EQ(p.routers.back(), net.endpoint(c2).access_router);
+  // Traversal count = routers + host links at both ends.
+  EXPECT_EQ(p.traversals.size(), p.routers.size() + 1);
+  // Consecutive routers are connected by the named link.
+  for (std::size_t i = 1; i + 1 < p.traversals.size(); ++i) {
+    const TopoLink& l = net.links()[p.traversals[i].link_id];
+    const int from = p.routers[i - 1];
+    const int to = p.routers[i];
+    if (p.traversals[i].forward) {
+      EXPECT_EQ(l.router_a, from);
+      EXPECT_EQ(l.router_b, to);
+    } else {
+      EXPECT_EQ(l.router_b, from);
+      EXPECT_EQ(l.router_a, to);
+    }
+  }
+}
+
+TEST(Routing, IntercontinentalRttExceedsRegional) {
+  Internet net(small_params(), CloudParams{});
+  const int eu1 = net.add_client(Region::kEurope, "eu1");
+  const int eu2 = net.add_client(Region::kEurope, "eu2");
+  const int asia = net.add_client(Region::kAsia, "as1");
+  const double rtt_regional = net.base_rtt_ms(net.path(eu1, eu2));
+  const double rtt_intercont = net.base_rtt_ms(net.path(eu1, asia));
+  EXPECT_LT(rtt_regional, 120.0);
+  EXPECT_GT(rtt_intercont, 100.0);
+  EXPECT_GT(rtt_intercont, rtt_regional);
+}
+
+TEST(Routing, OverlayLegsAreLongerInHops) {
+  // Concatenated overlay paths should usually have more router hops than
+  // the direct path (the paper's §V-B observation).
+  Internet net(small_params(), CloudParams{});
+  const int c = net.add_client(Region::kEurope, "c");
+  const int s = net.add_client(Region::kNaEast, "s");
+  // Individual overlay routes can occasionally be *shorter* (cloud peering
+  // shortcuts), but on average the two concatenated legs exceed the direct
+  // hop count — the trend behind the paper's §V-B hop-count observation.
+  const auto direct = net.path(s, c);
+  ASSERT_TRUE(direct.valid);
+  double total_hops = 0;
+  for (int via : net.dc_endpoints()) {
+    const auto leg1 = net.path(s, via);
+    const auto leg2 = net.path(via, c);
+    ASSERT_TRUE(leg1.valid && leg2.valid);
+    total_hops += static_cast<double>(leg1.routers.size() + leg2.routers.size());
+  }
+  const double avg = total_hops / static_cast<double>(net.dc_endpoints().size());
+  EXPECT_GT(avg, static_cast<double>(direct.routers.size()));
+}
+
+TEST(Routing, BackbonePathUsesBackboneLink) {
+  Internet net(small_params(), CloudParams{});
+  const int a = net.dc_endpoints()[0];
+  const int b = net.dc_endpoints()[1];
+  RouterPath p = net.backbone_path(a, b);
+  ASSERT_TRUE(p.valid);
+  bool has_backbone = false;
+  for (const auto& t : p.traversals) {
+    if (net.links()[t.link_id].is_backbone) has_backbone = true;
+  }
+  EXPECT_TRUE(has_backbone);
+  // Public path between the same DCs does not use the backbone.
+  RouterPath pub = net.path(a, b);
+  for (const auto& t : pub.traversals) {
+    EXPECT_FALSE(net.links()[t.link_id].is_backbone);
+  }
+}
+
+TEST(Internet, CoreLinksRunHotterThanCloudLinks) {
+  Internet net(small_params(), CloudParams{});
+  double core_sum = 0, cloud_sum = 0;
+  int core_n = 0, cloud_n = 0;
+  for (const auto& l : net.links()) {
+    if (l.is_core) {
+      core_sum += l.bg_fwd.mean_util;
+      ++core_n;
+    } else if (l.is_backbone) {
+      cloud_sum += l.bg_fwd.mean_util;
+      ++cloud_n;
+    }
+  }
+  ASSERT_GT(core_n, 0);
+  ASSERT_GT(cloud_n, 0);
+  EXPECT_GT(core_sum / core_n, cloud_sum / cloud_n);
+}
+
+TEST(Materializer, PacketTransferAcrossGeneratedTopology) {
+  Internet topo(small_params(), CloudParams{});
+  const int client = topo.add_client(Region::kEurope, "client");
+  const int server = topo.add_server(Region::kNaEast, "server");
+
+  sim::Simulator simv;
+  net::Network netw(&simv, sim::Rng{3});
+  Materializer mat(&topo, &netw);
+  mat.add_pair(server, client);
+
+  transport::TcpConfig cfg;
+  transport::BulkSink sink(mat.host(client), 5001, cfg);
+  transport::BulkSource src(mat.host(server), 1234, mat.host(client)->addr(), 5001,
+                            cfg);
+  src.start();
+  simv.run_until(Time::seconds(10));
+  EXPECT_GT(sink.bytes_received(), 100'000u);
+  EXPECT_TRUE(src.connection().established());
+}
+
+TEST(Materializer, SharedLinksAreDeduplicated) {
+  Internet topo(small_params(), CloudParams{});
+  const int c1 = topo.add_client(Region::kEurope, "c1");
+  const int c2 = topo.add_client(Region::kEurope, "c2");
+  const int s = topo.add_server(Region::kNaEast, "s");
+
+  sim::Simulator simv;
+  net::Network netw(&simv, sim::Rng{3});
+  Materializer mat(&topo, &netw);
+  mat.add_pair(s, c1);
+  const std::size_t links_after_first = netw.links().size();
+  mat.add_pair(s, c2);
+  // The two paths share the server's access + stub segments at minimum, so
+  // the second pair must add fewer links than the first.
+  EXPECT_LT(netw.links().size() - links_after_first, links_after_first);
+
+  // Each topo link materialized exactly once per direction.
+  std::set<std::pair<net::Node*, net::Node*>> seen;
+  for (const auto& l : netw.links()) {
+    EXPECT_TRUE(seen.insert({l->src(), l->dst()}).second);
+  }
+}
+
+TEST(Materializer, EventsApplyToMaterializedLinks) {
+  Internet topo(small_params(), CloudParams{});
+  const int c = topo.add_client(Region::kEurope, "c");
+  const int s = topo.add_server(Region::kNaEast, "s");
+  RouterPath p = topo.path(s, c);
+  const int victim = p.traversals[p.traversals.size() / 2].link_id;
+  topo.add_event(LinkEvent{victim, true, Time::zero(), Time::hours(1), 0.5});
+  topo.add_event(LinkEvent{victim, false, Time::zero(), Time::hours(1), 0.5});
+
+  sim::Simulator simv;
+  net::Network netw(&simv, sim::Rng{3});
+  Materializer mat(&topo, &netw);
+  mat.add_pair(s, c);
+  mat.apply_events();
+  net::Link* l = mat.link(victim, true);
+  ASSERT_NE(l, nullptr);
+  const double boosted = l->background().utilization(Time::seconds(10));
+  // Utilization must reflect the +0.5 boost (baseline is < 0.5 for most
+  // links; boosted must exceed the boost alone).
+  EXPECT_GE(boosted, 0.5);
+}
+
+}  // namespace
+}  // namespace cronets::topo

@@ -1,0 +1,25 @@
+// The umbrella header must compile standalone and expose the full API.
+
+#include "cronets.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  cronets::topo::TopologyParams p;
+  p.seed = 9;
+  p.num_tier1 = 6;
+  p.num_tier2 = 14;
+  p.num_stubs = 40;
+  cronets::wkld::World world(9, p);
+  auto& net = world.internet();
+  const int c = net.add_client(cronets::topo::Region::kEurope, "u-client");
+  const int s = net.add_server(cronets::topo::Region::kNaEast, "u-server");
+  const auto overlays = world.rent_paper_overlays();
+  const auto sample = world.meter().measure(s, c, overlays, cronets::sim::Time::hours(1));
+  EXPECT_GT(sample.direct_bps, 0.0);
+  EXPECT_EQ(sample.overlays.size(), overlays.size());
+}
+
+}  // namespace
