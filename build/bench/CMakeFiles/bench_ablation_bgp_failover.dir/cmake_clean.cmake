@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bgp_failover.dir/bench_ablation_bgp_failover.cc.o"
+  "CMakeFiles/bench_ablation_bgp_failover.dir/bench_ablation_bgp_failover.cc.o.d"
+  "bench_ablation_bgp_failover"
+  "bench_ablation_bgp_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bgp_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

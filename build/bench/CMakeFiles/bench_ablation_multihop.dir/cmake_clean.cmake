@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multihop.dir/bench_ablation_multihop.cc.o"
+  "CMakeFiles/bench_ablation_multihop.dir/bench_ablation_multihop.cc.o.d"
+  "bench_ablation_multihop"
+  "bench_ablation_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

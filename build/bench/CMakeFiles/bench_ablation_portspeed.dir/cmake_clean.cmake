@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_portspeed.dir/bench_ablation_portspeed.cc.o"
+  "CMakeFiles/bench_ablation_portspeed.dir/bench_ablation_portspeed.cc.o.d"
+  "bench_ablation_portspeed"
+  "bench_ablation_portspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_portspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shortflows.dir/bench_ablation_shortflows.cc.o"
+  "CMakeFiles/bench_ablation_shortflows.dir/bench_ablation_shortflows.cc.o.d"
+  "bench_ablation_shortflows"
+  "bench_ablation_shortflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shortflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tunnelmode.dir/bench_ablation_tunnelmode.cc.o"
+  "CMakeFiles/bench_ablation_tunnelmode.dir/bench_ablation_tunnelmode.cc.o.d"
+  "bench_ablation_tunnelmode"
+  "bench_ablation_tunnelmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tunnelmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c45_thresholds.dir/bench_c45_thresholds.cc.o"
+  "CMakeFiles/bench_c45_thresholds.dir/bench_c45_thresholds.cc.o.d"
+  "bench_c45_thresholds"
+  "bench_c45_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c45_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

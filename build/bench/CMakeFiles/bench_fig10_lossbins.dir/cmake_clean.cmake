@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lossbins.dir/bench_fig10_lossbins.cc.o"
+  "CMakeFiles/bench_fig10_lossbins.dir/bench_fig10_lossbins.cc.o.d"
+  "bench_fig10_lossbins"
+  "bench_fig10_lossbins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lossbins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mptcp_olia.dir/bench_fig12_mptcp_olia.cc.o"
+  "CMakeFiles/bench_fig12_mptcp_olia.dir/bench_fig12_mptcp_olia.cc.o.d"
+  "bench_fig12_mptcp_olia"
+  "bench_fig12_mptcp_olia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mptcp_olia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mptcp_cubic.dir/bench_fig13_mptcp_cubic.cc.o"
+  "CMakeFiles/bench_fig13_mptcp_cubic.dir/bench_fig13_mptcp_cubic.cc.o.d"
+  "bench_fig13_mptcp_cubic"
+  "bench_fig13_mptcp_cubic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mptcp_cubic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

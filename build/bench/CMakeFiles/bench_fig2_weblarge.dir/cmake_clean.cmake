@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_weblarge.dir/bench_fig2_weblarge.cc.o"
+  "CMakeFiles/bench_fig2_weblarge.dir/bench_fig2_weblarge.cc.o.d"
+  "bench_fig2_weblarge"
+  "bench_fig2_weblarge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_weblarge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_controlled.dir/bench_fig3_controlled.cc.o"
+  "CMakeFiles/bench_fig3_controlled.dir/bench_fig3_controlled.cc.o.d"
+  "bench_fig3_controlled"
+  "bench_fig3_controlled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_controlled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

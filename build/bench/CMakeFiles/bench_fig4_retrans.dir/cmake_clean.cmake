@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_retrans.dir/bench_fig4_retrans.cc.o"
+  "CMakeFiles/bench_fig4_retrans.dir/bench_fig4_retrans.cc.o.d"
+  "bench_fig4_retrans"
+  "bench_fig4_retrans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_retrans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

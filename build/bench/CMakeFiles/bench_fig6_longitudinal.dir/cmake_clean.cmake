@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_longitudinal.dir/bench_fig6_longitudinal.cc.o"
+  "CMakeFiles/bench_fig6_longitudinal.dir/bench_fig6_longitudinal.cc.o.d"
+  "bench_fig6_longitudinal"
+  "bench_fig6_longitudinal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_longitudinal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

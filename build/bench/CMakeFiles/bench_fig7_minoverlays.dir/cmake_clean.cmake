@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_minoverlays.dir/bench_fig7_minoverlays.cc.o"
+  "CMakeFiles/bench_fig7_minoverlays.dir/bench_fig7_minoverlays.cc.o.d"
+  "bench_fig7_minoverlays"
+  "bench_fig7_minoverlays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_minoverlays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

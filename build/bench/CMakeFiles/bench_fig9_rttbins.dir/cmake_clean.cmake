@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_rttbins.dir/bench_fig9_rttbins.cc.o"
+  "CMakeFiles/bench_fig9_rttbins.dir/bench_fig9_rttbins.cc.o.d"
+  "bench_fig9_rttbins"
+  "bench_fig9_rttbins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_rttbins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_nodecount.dir/bench_table1_nodecount.cc.o"
+  "CMakeFiles/bench_table1_nodecount.dir/bench_table1_nodecount.cc.o.d"
+  "bench_table1_nodecount"
+  "bench_table1_nodecount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_nodecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_validation.cc" "bench/CMakeFiles/bench_validation.dir/bench_validation.cc.o" "gcc" "bench/CMakeFiles/bench_validation.dir/bench_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wkld/CMakeFiles/cronets_wkld.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cronets_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cronets_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cronets_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/cronets_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cronets_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/tunnel/CMakeFiles/cronets_tunnel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cronets_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cronets_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

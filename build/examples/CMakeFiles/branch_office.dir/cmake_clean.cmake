@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_office.dir/branch_office.cpp.o"
+  "CMakeFiles/branch_office.dir/branch_office.cpp.o.d"
+  "branch_office"
+  "branch_office.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_office.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

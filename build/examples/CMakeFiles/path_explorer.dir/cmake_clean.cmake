@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_explorer.dir/path_explorer.cpp.o"
+  "CMakeFiles/path_explorer.dir/path_explorer.cpp.o.d"
+  "path_explorer"
+  "path_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

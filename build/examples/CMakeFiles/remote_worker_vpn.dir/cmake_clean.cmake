@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_worker_vpn.dir/remote_worker_vpn.cpp.o"
+  "CMakeFiles/remote_worker_vpn.dir/remote_worker_vpn.cpp.o.d"
+  "remote_worker_vpn"
+  "remote_worker_vpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_worker_vpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

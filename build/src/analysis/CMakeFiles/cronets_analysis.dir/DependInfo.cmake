@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/c45.cc" "src/analysis/CMakeFiles/cronets_analysis.dir/c45.cc.o" "gcc" "src/analysis/CMakeFiles/cronets_analysis.dir/c45.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/analysis/CMakeFiles/cronets_analysis.dir/stats.cc.o" "gcc" "src/analysis/CMakeFiles/cronets_analysis.dir/stats.cc.o.d"
+  "/root/repo/src/analysis/traceroute.cc" "src/analysis/CMakeFiles/cronets_analysis.dir/traceroute.cc.o" "gcc" "src/analysis/CMakeFiles/cronets_analysis.dir/traceroute.cc.o.d"
+  "/root/repo/src/analysis/tstat.cc" "src/analysis/CMakeFiles/cronets_analysis.dir/tstat.cc.o" "gcc" "src/analysis/CMakeFiles/cronets_analysis.dir/tstat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/cronets_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cronets_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cronets_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronets_analysis.dir/c45.cc.o"
+  "CMakeFiles/cronets_analysis.dir/c45.cc.o.d"
+  "CMakeFiles/cronets_analysis.dir/stats.cc.o"
+  "CMakeFiles/cronets_analysis.dir/stats.cc.o.d"
+  "CMakeFiles/cronets_analysis.dir/traceroute.cc.o"
+  "CMakeFiles/cronets_analysis.dir/traceroute.cc.o.d"
+  "CMakeFiles/cronets_analysis.dir/tstat.cc.o"
+  "CMakeFiles/cronets_analysis.dir/tstat.cc.o.d"
+  "libcronets_analysis.a"
+  "libcronets_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronets_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

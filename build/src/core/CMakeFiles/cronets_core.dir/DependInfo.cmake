@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost.cc" "src/core/CMakeFiles/cronets_core.dir/cost.cc.o" "gcc" "src/core/CMakeFiles/cronets_core.dir/cost.cc.o.d"
+  "/root/repo/src/core/measure_model.cc" "src/core/CMakeFiles/cronets_core.dir/measure_model.cc.o" "gcc" "src/core/CMakeFiles/cronets_core.dir/measure_model.cc.o.d"
+  "/root/repo/src/core/measure_packet.cc" "src/core/CMakeFiles/cronets_core.dir/measure_packet.cc.o" "gcc" "src/core/CMakeFiles/cronets_core.dir/measure_packet.cc.o.d"
+  "/root/repo/src/core/overlay.cc" "src/core/CMakeFiles/cronets_core.dir/overlay.cc.o" "gcc" "src/core/CMakeFiles/cronets_core.dir/overlay.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/cronets_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/cronets_core.dir/placement.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/core/CMakeFiles/cronets_core.dir/selection.cc.o" "gcc" "src/core/CMakeFiles/cronets_core.dir/selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/cronets_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/cronets_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cronets_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/tunnel/CMakeFiles/cronets_tunnel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cronets_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cronets_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronets_core.dir/cost.cc.o"
+  "CMakeFiles/cronets_core.dir/cost.cc.o.d"
+  "CMakeFiles/cronets_core.dir/measure_model.cc.o"
+  "CMakeFiles/cronets_core.dir/measure_model.cc.o.d"
+  "CMakeFiles/cronets_core.dir/measure_packet.cc.o"
+  "CMakeFiles/cronets_core.dir/measure_packet.cc.o.d"
+  "CMakeFiles/cronets_core.dir/overlay.cc.o"
+  "CMakeFiles/cronets_core.dir/overlay.cc.o.d"
+  "CMakeFiles/cronets_core.dir/placement.cc.o"
+  "CMakeFiles/cronets_core.dir/placement.cc.o.d"
+  "CMakeFiles/cronets_core.dir/selection.cc.o"
+  "CMakeFiles/cronets_core.dir/selection.cc.o.d"
+  "libcronets_core.a"
+  "libcronets_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronets_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronets_model.dir/flow_model.cc.o"
+  "CMakeFiles/cronets_model.dir/flow_model.cc.o.d"
+  "libcronets_model.a"
+  "libcronets_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronets_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

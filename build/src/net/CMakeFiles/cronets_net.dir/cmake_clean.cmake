@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronets_net.dir/host.cc.o"
+  "CMakeFiles/cronets_net.dir/host.cc.o.d"
+  "CMakeFiles/cronets_net.dir/link.cc.o"
+  "CMakeFiles/cronets_net.dir/link.cc.o.d"
+  "CMakeFiles/cronets_net.dir/network.cc.o"
+  "CMakeFiles/cronets_net.dir/network.cc.o.d"
+  "CMakeFiles/cronets_net.dir/router.cc.o"
+  "CMakeFiles/cronets_net.dir/router.cc.o.d"
+  "libcronets_net.a"
+  "libcronets_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronets_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronets_sim.dir/time.cc.o"
+  "CMakeFiles/cronets_sim.dir/time.cc.o.d"
+  "libcronets_sim.a"
+  "libcronets_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronets_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/geo.cc" "src/topo/CMakeFiles/cronets_topo.dir/geo.cc.o" "gcc" "src/topo/CMakeFiles/cronets_topo.dir/geo.cc.o.d"
+  "/root/repo/src/topo/internet.cc" "src/topo/CMakeFiles/cronets_topo.dir/internet.cc.o" "gcc" "src/topo/CMakeFiles/cronets_topo.dir/internet.cc.o.d"
+  "/root/repo/src/topo/materialize.cc" "src/topo/CMakeFiles/cronets_topo.dir/materialize.cc.o" "gcc" "src/topo/CMakeFiles/cronets_topo.dir/materialize.cc.o.d"
+  "/root/repo/src/topo/routing.cc" "src/topo/CMakeFiles/cronets_topo.dir/routing.cc.o" "gcc" "src/topo/CMakeFiles/cronets_topo.dir/routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cronets_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cronets_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronets_topo.dir/geo.cc.o"
+  "CMakeFiles/cronets_topo.dir/geo.cc.o.d"
+  "CMakeFiles/cronets_topo.dir/internet.cc.o"
+  "CMakeFiles/cronets_topo.dir/internet.cc.o.d"
+  "CMakeFiles/cronets_topo.dir/materialize.cc.o"
+  "CMakeFiles/cronets_topo.dir/materialize.cc.o.d"
+  "CMakeFiles/cronets_topo.dir/routing.cc.o"
+  "CMakeFiles/cronets_topo.dir/routing.cc.o.d"
+  "libcronets_topo.a"
+  "libcronets_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronets_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcronets_topo.a"
+)

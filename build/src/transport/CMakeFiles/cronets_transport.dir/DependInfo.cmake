@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/congestion.cc" "src/transport/CMakeFiles/cronets_transport.dir/congestion.cc.o" "gcc" "src/transport/CMakeFiles/cronets_transport.dir/congestion.cc.o.d"
+  "/root/repo/src/transport/mptcp.cc" "src/transport/CMakeFiles/cronets_transport.dir/mptcp.cc.o" "gcc" "src/transport/CMakeFiles/cronets_transport.dir/mptcp.cc.o.d"
+  "/root/repo/src/transport/mptcp_proxy.cc" "src/transport/CMakeFiles/cronets_transport.dir/mptcp_proxy.cc.o" "gcc" "src/transport/CMakeFiles/cronets_transport.dir/mptcp_proxy.cc.o.d"
+  "/root/repo/src/transport/split_proxy.cc" "src/transport/CMakeFiles/cronets_transport.dir/split_proxy.cc.o" "gcc" "src/transport/CMakeFiles/cronets_transport.dir/split_proxy.cc.o.d"
+  "/root/repo/src/transport/tcp.cc" "src/transport/CMakeFiles/cronets_transport.dir/tcp.cc.o" "gcc" "src/transport/CMakeFiles/cronets_transport.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cronets_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cronets_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronets_transport.dir/congestion.cc.o"
+  "CMakeFiles/cronets_transport.dir/congestion.cc.o.d"
+  "CMakeFiles/cronets_transport.dir/mptcp.cc.o"
+  "CMakeFiles/cronets_transport.dir/mptcp.cc.o.d"
+  "CMakeFiles/cronets_transport.dir/mptcp_proxy.cc.o"
+  "CMakeFiles/cronets_transport.dir/mptcp_proxy.cc.o.d"
+  "CMakeFiles/cronets_transport.dir/split_proxy.cc.o"
+  "CMakeFiles/cronets_transport.dir/split_proxy.cc.o.d"
+  "CMakeFiles/cronets_transport.dir/tcp.cc.o"
+  "CMakeFiles/cronets_transport.dir/tcp.cc.o.d"
+  "libcronets_transport.a"
+  "libcronets_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronets_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronets_tunnel.dir/tunnel.cc.o"
+  "CMakeFiles/cronets_tunnel.dir/tunnel.cc.o.d"
+  "libcronets_tunnel.a"
+  "libcronets_tunnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronets_tunnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

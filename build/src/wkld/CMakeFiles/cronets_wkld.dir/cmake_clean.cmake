@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronets_wkld.dir/experiments.cc.o"
+  "CMakeFiles/cronets_wkld.dir/experiments.cc.o.d"
+  "CMakeFiles/cronets_wkld.dir/world.cc.o"
+  "CMakeFiles/cronets_wkld.dir/world.cc.o.d"
+  "libcronets_wkld.a"
+  "libcronets_wkld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronets_wkld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

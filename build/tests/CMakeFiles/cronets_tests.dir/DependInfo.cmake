@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_extra_test.cc" "tests/CMakeFiles/cronets_tests.dir/analysis_extra_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/analysis_extra_test.cc.o.d"
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/cronets_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/cronets_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/cronets_tests.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/determinism_test.cc.o.d"
+  "/root/repo/tests/experiments_test.cc" "tests/CMakeFiles/cronets_tests.dir/experiments_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/experiments_test.cc.o.d"
+  "/root/repo/tests/fairness_test.cc" "tests/CMakeFiles/cronets_tests.dir/fairness_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/fairness_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/cronets_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/model_test.cc" "tests/CMakeFiles/cronets_tests.dir/model_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/model_test.cc.o.d"
+  "/root/repo/tests/mptcp_dss_test.cc" "tests/CMakeFiles/cronets_tests.dir/mptcp_dss_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/mptcp_dss_test.cc.o.d"
+  "/root/repo/tests/mptcp_proxy_test.cc" "tests/CMakeFiles/cronets_tests.dir/mptcp_proxy_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/mptcp_proxy_test.cc.o.d"
+  "/root/repo/tests/mptcp_test.cc" "tests/CMakeFiles/cronets_tests.dir/mptcp_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/mptcp_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/cronets_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/placement_test.cc" "tests/CMakeFiles/cronets_tests.dir/placement_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/placement_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/cronets_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/red_test.cc" "tests/CMakeFiles/cronets_tests.dir/red_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/red_test.cc.o.d"
+  "/root/repo/tests/selection_extra_test.cc" "tests/CMakeFiles/cronets_tests.dir/selection_extra_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/selection_extra_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/cronets_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/split_proxy_test.cc" "tests/CMakeFiles/cronets_tests.dir/split_proxy_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/split_proxy_test.cc.o.d"
+  "/root/repo/tests/tcp_edge_test.cc" "tests/CMakeFiles/cronets_tests.dir/tcp_edge_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/tcp_edge_test.cc.o.d"
+  "/root/repo/tests/tcp_test.cc" "tests/CMakeFiles/cronets_tests.dir/tcp_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/tcp_test.cc.o.d"
+  "/root/repo/tests/tlp_test.cc" "tests/CMakeFiles/cronets_tests.dir/tlp_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/tlp_test.cc.o.d"
+  "/root/repo/tests/topo_test.cc" "tests/CMakeFiles/cronets_tests.dir/topo_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/topo_test.cc.o.d"
+  "/root/repo/tests/tunnel_test.cc" "tests/CMakeFiles/cronets_tests.dir/tunnel_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/tunnel_test.cc.o.d"
+  "/root/repo/tests/umbrella_test.cc" "tests/CMakeFiles/cronets_tests.dir/umbrella_test.cc.o" "gcc" "tests/CMakeFiles/cronets_tests.dir/umbrella_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wkld/CMakeFiles/cronets_wkld.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cronets_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cronets_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cronets_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/cronets_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cronets_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/tunnel/CMakeFiles/cronets_tunnel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cronets_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cronets_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
