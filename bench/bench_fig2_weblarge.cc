@@ -15,8 +15,11 @@ using namespace cronets;
 using namespace cronets::bench;
 
 int main() {
+  BenchRun run("fig2_weblarge");
   wkld::World world(world_seed());
   const auto exp = wkld::run_web_experiment(world);
+  run.stop_clock();
+  run.set_pairs(static_cast<long>(exp.samples.size()));
 
   analysis::Cdf plain_ratio, split_ratio;
   double plain_improved = 0, split_improved = 0, split_25 = 0;
@@ -43,7 +46,7 @@ int main() {
   print_cdf_log(plain_ratio, "overlay", 1e-2, 1e2);
   print_cdf_log(split_ratio, "split-overlay", 1e-2, 1e2);
 
-  print_paper_checks({
+  run.finish({
       {"plain: fraction improved (ratio > 1)", 0.49, plain_improved / n},
       {"plain: average improvement factor", 1.29, plain_sum / n},
       {"split: fraction improved", 0.78, split_improved / n},

@@ -17,8 +17,11 @@ using namespace cronets;
 using namespace cronets::bench;
 
 int main() {
+  BenchRun run("fig3_controlled");
   wkld::World world(world_seed());
   const auto exp = wkld::run_controlled_experiment(world);
+  run.stop_clock();
+  run.set_pairs(static_cast<long>(exp.samples.size()));
 
   analysis::Cdf plain_ratio, split_ratio, discrete_ratio;
   double plain_improved = 0, split_improved = 0, discrete_improved = 0;
@@ -65,7 +68,7 @@ int main() {
     print_cdf_log(web_split, "split-overlay (Internet sender)", 1e-3, 1e3);
   }
 
-  print_paper_checks({
+  run.finish({
       {"plain: fraction improved (ratio > 1)", 0.45, plain_improved / n},
       {"plain: average improvement factor", 6.53, plain_factor_sum / n},
       {"split: fraction improved", 0.74, split_improved / n},

@@ -18,9 +18,13 @@ using namespace cronets;
 using namespace cronets::bench;
 
 int main() {
+  BenchRun run("fig6_longitudinal");
   wkld::World world(world_seed());
   const auto pipeline = wkld::run_longitudinal_pipeline(world);
   const auto& study = pipeline.study;
+  run.stop_clock();
+  run.set_pairs(static_cast<long>(pipeline.ranking.samples.size() +
+                                  study.pairs.size() * study.samples_per_pair));
 
   print_header("Figure 6", "direct vs max split-overlay throughput, 30 paths / 1 week");
   std::printf("(transient ranking event on client endpoint %d, cleared before the week)\n\n",
@@ -49,7 +53,7 @@ int main() {
 
   analysis::Cdf rc;
   rc.add_all(ratios);
-  print_paper_checks({
+  run.finish({
       {"fraction of 30 paths still clearly improved", 0.90,
        static_cast<double>(improved) / static_cast<double>(ratios.size())},
       {"average improvement ratio over the week", 8.39, rc.mean()},

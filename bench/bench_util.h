@@ -1,7 +1,9 @@
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -59,5 +61,83 @@ inline void print_paper_checks(const std::vector<PaperCheck>& checks) {
   }
   std::printf("\n");
 }
+
+/// Wall-clock + throughput tracker for a bench's measurement phase, plus
+/// machine-readable output: `finish()` writes bench_results/<name>.json
+/// with the timing, pair counts, and paper-check rows, so CI can archive
+/// and diff the speedup trajectory PR over PR (the text report stays the
+/// human-facing artifact). The JSON `checks` block depends only on the
+/// world seed — never on thread count or timing — so it doubles as the
+/// determinism fingerprint for the parallel engine.
+class BenchRun {
+ public:
+  explicit BenchRun(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  /// Record how many endpoint pairs the measurement phase swept.
+  void set_pairs(long pairs) { pairs_ = pairs; }
+  /// Stop the measurement clock (call right after the sweep; printing and
+  /// aggregation below it are excluded). Without an explicit call,
+  /// `finish()` stops it.
+  void stop_clock() {
+    if (wall_s_ < 0) {
+      wall_s_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start_)
+                    .count();
+    }
+  }
+
+  void finish(const std::vector<PaperCheck>& checks) {
+    stop_clock();
+    print_paper_checks(checks);
+    std::printf("-- timing: %.3f s wall, %ld pairs, %.0f pairs/s, %d threads\n\n",
+                wall_s_, pairs_, pairs_ > 0 ? pairs_ / wall_s_ : 0.0, threads());
+    write_json(checks);
+  }
+
+ private:
+  static int threads() {
+    return sim::Parallelism{}.resolved();
+  }
+
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  void write_json(const std::vector<PaperCheck>& checks) const {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_results", ec);
+    const std::string path = "bench_results/" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return;  // read-only checkout: the text report already printed
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", json_escape(name_).c_str());
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(world_seed()));
+    std::fprintf(f, "  \"threads\": %d,\n", threads());
+    std::fprintf(f, "  \"quick\": %s,\n", quick_mode() ? "true" : "false");
+    std::fprintf(f, "  \"wall_s\": %.6f,\n", wall_s_);
+    std::fprintf(f, "  \"pairs\": %ld,\n", pairs_);
+    std::fprintf(f, "  \"pairs_per_s\": %.3f,\n",
+                 pairs_ > 0 && wall_s_ > 0 ? pairs_ / wall_s_ : 0.0);
+    std::fprintf(f, "  \"checks\": [");
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"metric\": \"%s\", \"paper\": %.17g, \"measured\": %.17g}",
+                   i ? "," : "", json_escape(checks[i].metric).c_str(),
+                   checks[i].paper, checks[i].measured);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  double wall_s_ = -1.0;
+  long pairs_ = 0;
+};
 
 }  // namespace cronets::bench

@@ -1,13 +1,29 @@
 #!/bin/bash
 # Regenerate every paper figure/table + ablations. CRONETS_QUICK=1 shrinks
-# the packet-level runs.
-set -u
+# the packet-level runs. Exits non-zero if any bench failed (all benches
+# still run, so one bad figure doesn't mask the rest of the report).
+set -euo pipefail
 cd "$(dirname "$0")"
 mkdir -p bench_results
+
+failed=()
 for b in build/bench/bench_*; do
   name=$(basename "$b")
   [ "$name" = bench_micro ] && continue
   echo "== $name =="
-  "$b" | tee "bench_results/${name#bench_}.txt"
+  if ! "$b" > "bench_results/${name#bench_}.txt" 2>&1; then
+    failed+=("$name")
+    echo "FAILED: $name (see bench_results/${name#bench_}.txt)"
+  fi
+  tail -n 20 "bench_results/${name#bench_}.txt"
 done
-build/bench/bench_micro --benchmark_min_time=0.2 | tee bench_results/micro.txt
+
+if ! build/bench/bench_micro --benchmark_min_time=0.2 | tee bench_results/micro.txt; then
+  failed+=(bench_micro)
+fi
+
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo "FAILED benches: ${failed[*]}" >&2
+  exit 1
+fi
+echo "all benches passed"

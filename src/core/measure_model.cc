@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/hash_rng.h"
+
 namespace cronets::core {
 
 double PairSample::best_plain_bps() const {
@@ -48,15 +50,19 @@ int PairSample::best_split_overlay_ep() const {
 
 PairSample ModelMeasurement::measure(int src_ep, int dst_ep,
                                      const std::vector<int>& overlay_eps,
-                                     sim::Time t) {
+                                     sim::Time t) const {
   PairSample out;
   out.src = src_ep;
   out.dst = dst_ep;
 
+  // Private noise stream for this (pair, time): the draw sequence below is
+  // fixed, so the sample is reproducible no matter where it runs.
+  sim::Rng rng(sim::pair_seed(seed_ ^ flow_->seed(), src_ep, dst_ep, t.ns()));
+
   const topo::RouterPath direct = topo_->path(src_ep, dst_ep);
   model::PathMetrics dm = flow_->sample(direct, t);
   dm.rwnd_bytes = static_cast<double>(topo_->endpoint(dst_ep).rcv_buf);
-  out.direct_bps = flow_->tcp_throughput(dm);
+  out.direct_bps = flow_->tcp_throughput(dm, rng);
   out.direct_rtt_ms = dm.rtt_ms;
   out.direct_loss = dm.loss;
   out.direct_hops = dm.hop_count;
@@ -73,9 +79,9 @@ PairSample ModelMeasurement::measure(int src_ep, int dst_ep,
     m2.rwnd_bytes = static_cast<double>(topo_->endpoint(dst_ep).rcv_buf);
     OverlaySample s;
     s.overlay_ep = o;
-    s.plain_bps = flow_->overlay_plain(m1, m2);
-    s.split_bps = flow_->overlay_split(m1, m2);
-    s.discrete_bps = flow_->discrete(m1, m2);
+    s.plain_bps = flow_->overlay_plain(m1, m2, rng);
+    s.split_bps = flow_->overlay_split(m1, m2, rng);
+    s.discrete_bps = flow_->discrete(m1, m2, rng);
     const model::PathMetrics combined = model::FlowModel::concat(m1, m2);
     s.rtt_ms = combined.rtt_ms;
     s.loss = combined.loss;

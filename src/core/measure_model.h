@@ -40,18 +40,28 @@ struct PairSample {
 /// sweeps (6,600 paths x several path types). All throughputs come from
 /// the calibrated flow model over the same generated Internet the packet
 /// simulator uses.
+///
+/// Every measurement draws its noise from a private stream seeded by
+/// (seed, src, dst, t), so a pair's result depends only on those four
+/// values — never on how many other pairs were measured before it, in what
+/// order, or on which thread. This is what lets the experiment loops fan
+/// pairs out across a thread pool and still produce bitwise-identical
+/// results at any thread count.
 class ModelMeasurement {
  public:
-  ModelMeasurement(topo::Internet* topo, model::FlowModel* flow)
-      : topo_(topo), flow_(flow) {}
+  ModelMeasurement(topo::Internet* topo, model::FlowModel* flow,
+                   std::uint64_t seed = 0)
+      : topo_(topo), flow_(flow), seed_(seed) {}
 
   /// Measure (src,dst) against every overlay node at simulated time `t`.
+  /// Thread-safe: const, and all randomness is per-call.
   PairSample measure(int src_ep, int dst_ep, const std::vector<int>& overlay_eps,
-                     sim::Time t);
+                     sim::Time t) const;
 
  private:
   topo::Internet* topo_;
   model::FlowModel* flow_;
+  std::uint64_t seed_;
 };
 
 }  // namespace cronets::core

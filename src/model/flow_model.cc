@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/hash_rng.h"
+
 namespace cronets::model {
 
 using sim::Time;
@@ -24,34 +26,38 @@ double pftk_throughput_bps(double rtt_ms, double loss, double residual_bps,
   return 8.0 * std::min({loss_bound_Bps, wnd_bound_Bps, cap_Bps});
 }
 
-double FlowModel::utilization(int link_id, bool forward, Time t) {
+double FlowModel::utilization(int link_id, bool forward, Time t) const {
   const auto& link = topo_->links()[link_id];
   const net::BackgroundParams& bg = forward ? link.bg_fwd : link.bg_rev;
 
-  const std::int64_t key = static_cast<std::int64_t>(link_id) * 2 + (forward ? 0 : 1);
-  ArState& st = state_[key];
+  // Stationary AR(1) as a stateless random field: the process value at
+  // integer epoch n is the exponentially-weighted sum of hash-indexed
+  // innovations, u_n = mean + c * sum_{j<J} a^j e_{n-j}, truncated where
+  // the tail weight is negligible and rescaled so the variance is exactly
+  // the stationary sigma^2/(1-a^2). Consecutive epochs share J-1
+  // innovations, reproducing the AR(1) autocorrelation a^|d| — but unlike
+  // the recursive form, any (link, direction, t) can be evaluated
+  // independently, in any order, on any thread, with identical bits.
+  const double a = std::clamp(1.0 - bg.theta, 0.0, 0.999);
+  const std::int64_t n = t.ns() / std::max<std::int64_t>(bg.epoch.ns(), 1);
+  const std::uint64_t stream = sim::hash_combine(
+      seed_, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(link_id)) << 1) |
+                 (forward ? 1u : 0u));
 
-  // AR(1): u' = u + theta*(mean-u) + N(0,sigma)  per epoch, i.e.
-  // u' = mean + a*(u-mean) + noise with a = 1-theta. Exact bridging over a
-  // gap of d epochs: u_t = mean + a^d (u_0 - mean) + N(0, s2*(1-a^(2d))),
-  // where s2 = sigma^2/(1-a^2) is the stationary variance.
-  const double a = 1.0 - bg.theta;
-  const double s2 = bg.sigma * bg.sigma / std::max(1e-9, 1.0 - a * a);
-  double u;
-  if (!st.init) {
-    u = bg.mean_util + rng_.normal(0.0, std::sqrt(s2));
-    st.init = true;
-  } else {
-    const double gap_epochs =
-        static_cast<double>((t - st.t).ns()) / static_cast<double>(bg.epoch.ns());
-    const double ad = std::pow(a, std::max(0.0, gap_epochs));
-    const double var = s2 * (1.0 - ad * ad);
-    u = bg.mean_util + ad * (st.u - bg.mean_util) +
-        rng_.normal(0.0, std::sqrt(std::max(0.0, var)));
+  int horizon = 1;  // smallest J with a^J <= 1e-3 (cap keeps cost bounded)
+  if (a > 1e-3) {
+    horizon = std::min(64, static_cast<int>(std::ceil(-6.907755 / std::log(a))));
   }
+  double acc = 0.0, w = 1.0, w2_sum = 0.0;
+  for (int j = 0; j < horizon; ++j) {
+    acc += w * sim::hash_centered(
+                   sim::hash_combine(stream, static_cast<std::uint64_t>(n - j)));
+    w2_sum += w * w;
+    w *= a;
+  }
+  const double stationary_sd = bg.sigma / std::sqrt(std::max(1e-9, 1.0 - a * a));
+  double u = bg.mean_util + acc * stationary_sd / std::sqrt(w2_sum);
   u = std::clamp(u, 0.0, 0.98);
-  st.t = t;
-  st.u = u;
 
   double out = u + net::diurnal_component(bg, t);
   for (const auto& ev : topo_->events()) {
@@ -63,13 +69,13 @@ double FlowModel::utilization(int link_id, bool forward, Time t) {
   return std::clamp(out, 0.0, 0.98);
 }
 
-double FlowModel::link_loss(int link_id, bool forward, Time t) {
+double FlowModel::link_loss(int link_id, bool forward, Time t) const {
   const auto& link = topo_->links()[link_id];
   const net::BackgroundParams& bg = forward ? link.bg_fwd : link.bg_rev;
   return net::loss_from_utilization(bg, utilization(link_id, forward, t));
 }
 
-PathMetrics FlowModel::sample(const topo::RouterPath& path, Time t) {
+PathMetrics FlowModel::sample(const topo::RouterPath& path, Time t) const {
   PathMetrics m;
   m.capacity_bps = 1e18;
   m.residual_bps = 1e18;
@@ -104,46 +110,50 @@ PathMetrics FlowModel::concat(const PathMetrics& a, const PathMetrics& b) {
   return m;
 }
 
-double FlowModel::tcp_throughput(const PathMetrics& m) {
+double FlowModel::tcp_throughput(const PathMetrics& m, sim::Rng& rng) const {
   TcpModelParams p = params_;
   if (m.rwnd_bytes > 0) p.rwnd_bytes = m.rwnd_bytes;
   double t = pftk_throughput_bps(m.rtt_ms, m.loss, m.residual_bps, m.capacity_bps, p);
   // When the flow saturates the residual capacity it also builds queue;
   // throughput clips slightly below the residual rate.
   const double cap = std::min(m.residual_bps, m.capacity_bps);
-  if (t > 0.92 * cap) t = cap * rng_.uniform(0.88, 0.96);
-  return t * noise();
+  if (t > 0.92 * cap) t = cap * rng.uniform(0.88, 0.96);
+  return t * noise(rng);
 }
 
-double FlowModel::overlay_plain(const PathMetrics& leg1, const PathMetrics& leg2) {
-  return tcp_throughput(concat(leg1, leg2));
+double FlowModel::overlay_plain(const PathMetrics& leg1, const PathMetrics& leg2,
+                                sim::Rng& rng) const {
+  return tcp_throughput(concat(leg1, leg2), rng);
 }
 
-double FlowModel::overlay_split(const PathMetrics& leg1, const PathMetrics& leg2) {
+double FlowModel::overlay_split(const PathMetrics& leg1, const PathMetrics& leg2,
+                                sim::Rng& rng) const {
   // Each leg runs its own TCP; the proxy relays with ample buffer. A small
   // efficiency haircut models the proxy's buffer coupling.
-  const double t1 = tcp_throughput(leg1);
-  const double t2 = tcp_throughput(leg2);
+  const double t1 = tcp_throughput(leg1, rng);
+  const double t2 = tcp_throughput(leg2, rng);
   return 0.97 * std::min(t1, t2);
 }
 
-double FlowModel::discrete(const PathMetrics& leg1, const PathMetrics& leg2) {
-  return std::min(tcp_throughput(leg1), tcp_throughput(leg2));
+double FlowModel::discrete(const PathMetrics& leg1, const PathMetrics& leg2,
+                           sim::Rng& rng) const {
+  return std::min(tcp_throughput(leg1, rng), tcp_throughput(leg2, rng));
 }
 
-double FlowModel::mptcp_coupled(const std::vector<double>& per_path_tput) {
+double FlowModel::mptcp_coupled(const std::vector<double>& per_path_tput,
+                                sim::Rng& rng) const {
   double best = 0.0;
   for (double t : per_path_tput) best = std::max(best, t);
   // OLIA converges to (roughly) the best path; small shortfall/overshoot
   // from probing the other subflows.
-  return best * rng_.uniform(0.92, 1.04);
+  return best * rng.uniform(0.92, 1.04);
 }
 
 double FlowModel::mptcp_uncoupled(const std::vector<double>& per_path_tput,
-                                  double nic_bps) {
+                                  double nic_bps, sim::Rng& rng) const {
   double sum = 0.0;
   for (double t : per_path_tput) sum += t;
-  return std::min(sum * rng_.uniform(0.95, 1.0), nic_bps * 0.97);
+  return std::min(sum * rng.uniform(0.95, 1.0), nic_bps * 0.97);
 }
 
 }  // namespace cronets::model

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/rng.h"
@@ -38,57 +37,84 @@ struct TcpModelParams {
 double pftk_throughput_bps(double rtt_ms, double loss, double residual_bps,
                            double capacity_bps, const TcpModelParams& p);
 
-/// Analytic "measurement instrument": samples per-link utilizations with an
-/// exactly-bridged AR(1) process (the same statistics the packet-level
-/// BackgroundProcess produces), derives path metrics, and predicts TCP /
-/// split-TCP / MPTCP throughput. Used for the paper's large-scale sweeps
-/// (6,600 paths) where packet-level simulation would be prohibitive; its
-/// agreement with the packet simulator is enforced by tests.
+/// Analytic "measurement instrument": evaluates per-link utilizations as a
+/// stateless hash-indexed random field (stationary AR(1) statistics — the
+/// same process the packet-level BackgroundProcess integrates), derives
+/// path metrics, and predicts TCP / split-TCP / MPTCP throughput. Used for
+/// the paper's large-scale sweeps (6,600 paths) where packet-level
+/// simulation would be prohibitive; its agreement with the packet
+/// simulator is enforced by tests.
+///
+/// Thread-safety: `utilization`, `link_loss`, and `sample` are const and
+/// touch no mutable state — the utilization at (link, direction, t) is a
+/// pure function of the model seed, so concurrent measurements see one
+/// consistent world regardless of query order or thread count. The
+/// throughput predictors draw measurement noise: pass an explicit `Rng`
+/// (e.g. a per-pair stream) from parallel code; the overloads without one
+/// use the model's own serial stream and are NOT thread-safe.
 class FlowModel {
  public:
   FlowModel(topo::Internet* topo, std::uint64_t seed)
-      : topo_(topo), rng_(seed) {}
+      : topo_(topo), seed_(seed), rng_(seed) {}
 
-  /// Utilization of one link direction at time `t` (AR(1)-bridged, with
-  /// diurnal component and scheduled transient events applied).
-  double utilization(int link_id, bool forward, sim::Time t);
+  /// Utilization of one link direction at time `t` (stationary AR(1)
+  /// random field, with diurnal component and scheduled transient events
+  /// applied). Pure function of (seed, link, direction, t).
+  double utilization(int link_id, bool forward, sim::Time t) const;
   /// Loss probability of one link direction at time `t`.
-  double link_loss(int link_id, bool forward, sim::Time t);
+  double link_loss(int link_id, bool forward, sim::Time t) const;
 
   /// Sample the instantaneous metrics of a router path.
-  PathMetrics sample(const topo::RouterPath& path, sim::Time t);
+  PathMetrics sample(const topo::RouterPath& path, sim::Time t) const;
   /// Metrics of the concatenation A->O->B (one tunnel; RTT and loss add).
   static PathMetrics concat(const PathMetrics& a, const PathMetrics& b);
 
   // --- Throughput predictors (bit/s), with measurement noise ---
-  double tcp_throughput(const PathMetrics& m);
+  double tcp_throughput(const PathMetrics& m, sim::Rng& rng) const;
   /// Plain tunnel overlay: a single TCP connection over the whole A->O->B.
-  double overlay_plain(const PathMetrics& leg1, const PathMetrics& leg2);
+  double overlay_plain(const PathMetrics& leg1, const PathMetrics& leg2,
+                       sim::Rng& rng) const;
   /// Split-TCP at the overlay node: min of the two legs' own TCP rates.
-  double overlay_split(const PathMetrics& leg1, const PathMetrics& leg2);
+  double overlay_split(const PathMetrics& leg1, const PathMetrics& leg2,
+                       sim::Rng& rng) const;
   /// Discrete bound: min of independently measured legs (no tunnel cost).
-  double discrete(const PathMetrics& leg1, const PathMetrics& leg2);
+  double discrete(const PathMetrics& leg1, const PathMetrics& leg2,
+                  sim::Rng& rng) const;
   /// Coupled MPTCP (OLIA/LIA): ~ the best single path.
-  double mptcp_coupled(const std::vector<double>& per_path_tput);
+  double mptcp_coupled(const std::vector<double>& per_path_tput, sim::Rng& rng) const;
   /// Uncoupled MPTCP: ~ sum of subflows, capped by the NIC.
-  double mptcp_uncoupled(const std::vector<double>& per_path_tput, double nic_bps);
+  double mptcp_uncoupled(const std::vector<double>& per_path_tput, double nic_bps,
+                         sim::Rng& rng) const;
 
+  // Serial conveniences drawing from the model's own stream (single-thread).
+  double tcp_throughput(const PathMetrics& m) { return tcp_throughput(m, rng_); }
+  double overlay_plain(const PathMetrics& l1, const PathMetrics& l2) {
+    return overlay_plain(l1, l2, rng_);
+  }
+  double overlay_split(const PathMetrics& l1, const PathMetrics& l2) {
+    return overlay_split(l1, l2, rng_);
+  }
+  double discrete(const PathMetrics& l1, const PathMetrics& l2) {
+    return discrete(l1, l2, rng_);
+  }
+  double mptcp_coupled(const std::vector<double>& t) { return mptcp_coupled(t, rng_); }
+  double mptcp_uncoupled(const std::vector<double>& t, double nic_bps) {
+    return mptcp_uncoupled(t, nic_bps, rng_);
+  }
+
+  std::uint64_t seed() const { return seed_; }
   const TcpModelParams& params() const { return params_; }
   TcpModelParams& params() { return params_; }
 
  private:
-  struct ArState {
-    bool init = false;
-    sim::Time t{};
-    double u = 0.0;
-  };
-
-  double noise() { return std::exp(rng_.normal(0.0, params_.noise_sigma)); }
+  double noise(sim::Rng& rng) const {
+    return std::exp(rng.normal(0.0, params_.noise_sigma));
+  }
 
   topo::Internet* topo_;
-  sim::Rng rng_;
+  std::uint64_t seed_;
+  sim::Rng rng_;  ///< serial stream backing the legacy overloads only
   TcpModelParams params_;
-  std::unordered_map<std::int64_t, ArState> state_;  // key: link*2 + dir
 };
 
 }  // namespace cronets::model

@@ -1,0 +1,115 @@
+#include "sim/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cronets::sim {
+
+int Parallelism::resolved() const {
+  if (threads > 0) return threads;
+  if (const char* env = std::getenv("CRONETS_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(Parallelism par) {
+  const int n = std::max(1, par.resolved());
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_.body = &body;
+    job_.n = n;
+    // ~8 chunks per thread balances claim overhead against imbalance.
+    job_.grain = std::max<std::size_t>(1, n / (static_cast<std::size_t>(size()) * 8));
+    job_.cursor = 0;
+    job_.done = 0;
+    job_.error = nullptr;
+    ++job_.generation;
+    generation = job_.generation;
+  }
+  work_cv_.notify_all();
+
+  drain(generation);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return job_.done == job_.n; });
+  job_.body = nullptr;
+  if (job_.error) std::rethrow_exception(job_.error);
+}
+
+void ThreadPool::drain(std::uint64_t generation) {
+  for (;;) {
+    std::size_t lo, hi;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (job_.generation != generation || job_.cursor >= job_.n) return;
+      lo = job_.cursor;
+      hi = std::min(job_.n, lo + job_.grain);
+      job_.cursor = hi;
+    }
+    std::exception_ptr err;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!err) {
+        try {
+          (*job_.body)(i);
+        } catch (...) {
+          err = std::current_exception();
+        }
+      }
+    }
+    bool all_done;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (err && !job_.error) job_.error = err;
+      job_.done += hi - lo;
+      all_done = job_.done == job_.n;
+    }
+    if (all_done) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t generation;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return stop_ || (job_.body != nullptr && job_.generation != seen &&
+                         job_.cursor < job_.n);
+      });
+      if (stop_) return;
+      generation = job_.generation;
+    }
+    seen = generation;
+    drain(generation);
+  }
+}
+
+}  // namespace cronets::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cronets::sim {
+
+/// How many threads the measurement engine may use. `threads == 0` means
+/// auto: the `CRONETS_THREADS` environment variable if set, else hardware
+/// concurrency. `threads == 1` forces fully serial execution.
+struct Parallelism {
+  int threads = 0;
+  /// The concrete thread count this config resolves to (always >= 1).
+  int resolved() const;
+};
+
+/// Persistent chunk-claiming thread pool for embarrassingly parallel index
+/// loops. Workers (plus the calling thread) grab contiguous index chunks
+/// off a shared atomic cursor, so load-imbalanced bodies still fill all
+/// cores without per-item synchronization. Bodies must be independent per
+/// index; result ordering is the caller's index space, so output is
+/// identical at any thread count.
+class ThreadPool {
+ public:
+  explicit ThreadPool(Parallelism par = {});
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that participate in a parallel_for (workers + caller).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run body(i) for every i in [0, n). Blocks until all iterations are
+  /// done. Rethrows the first body exception in the calling thread. Not
+  /// reentrant: bodies must not call parallel_for on the same pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    std::size_t cursor = 0;      // next unclaimed index (guarded by mu_)
+    std::size_t done = 0;        // completed iterations (guarded by mu_)
+    std::uint64_t generation = 0;
+    std::exception_ptr error;    // first failure, rethrown by the caller
+  };
+
+  void worker_loop();
+  /// Claim and run chunks of the current job until the cursor is spent.
+  void drain(std::uint64_t generation);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: new job / shutdown
+  std::condition_variable done_cv_;   // signals caller: all iterations done
+  Job job_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cronets::sim

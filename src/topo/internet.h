@@ -1,7 +1,9 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -106,6 +108,12 @@ struct CloudParams {
 /// BGP-style policy routing over the AS graph (Gao-Rexford: prefer
 /// customer > peer > provider routes, then shortest AS path, deterministic
 /// tie-break). Tables are computed per destination AS and cached.
+///
+/// `to` and `as_path` are safe to call concurrently (the cache is guarded
+/// by a reader/writer lock; a miss computes outside the lock and the first
+/// insert wins, so all threads see one table). `invalidate` must not race
+/// with queries — topology mutations happen in the single-threaded setup
+/// phase between measurement sweeps.
 class Routing {
  public:
   struct Entry {
@@ -119,12 +127,18 @@ class Routing {
   const std::vector<Entry>& to(int dst_as);
   /// AS-level path [src, ..., dst]; empty if unreachable.
   std::vector<int> as_path(int src_as, int dst_as);
-  void invalidate() { cache_.clear(); }
+  void invalidate() {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    cache_.clear();
+  }
 
  private:
   std::vector<Entry> compute(int dst_as) const;
   const std::vector<AsNode>* ases_;
-  std::unordered_map<int, std::vector<Entry>> cache_;
+  std::shared_mutex mu_;
+  std::unordered_map<int, std::vector<Entry>> cache_;  // node-based: value
+                                                       // refs stay valid
+                                                       // across inserts
 };
 
 /// A transient AS/link-level congestion or failure episode (for the

@@ -28,9 +28,16 @@ using MinPq = std::priority_queue<PqItem, std::vector<PqItem>, std::greater<>>;
 }  // namespace
 
 const std::vector<Routing::Entry>& Routing::to(int dst_as) {
-  auto it = cache_.find(dst_as);
-  if (it != cache_.end()) return it->second;
-  return cache_.emplace(dst_as, compute(dst_as)).first->second;
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = cache_.find(dst_as);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock: tables are deterministic, so losing the
+  // insert race below just discards an identical duplicate.
+  std::vector<Entry> table = compute(dst_as);
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return cache_.emplace(dst_as, std::move(table)).first->second;
 }
 
 std::vector<Routing::Entry> Routing::compute(int dst_as) const {

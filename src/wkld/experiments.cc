@@ -11,12 +11,17 @@ WebExperiment run_web_experiment(World& world, int num_clients, sim::Time at) {
   exp.servers = world.make_servers();
   exp.overlays = world.rent_paper_overlays();
 
-  for (int server : exp.servers) {
-    for (int client : exp.clients) {
-      // The server is the TCP sender (file download to the client).
-      exp.samples.push_back(world.meter().measure(server, client, exp.overlays, at));
-    }
-  }
+  // Fan the (server, client) pairs out across the measurement pool. Each
+  // pair's noise is seeded from (world seed, src, dst, t), so the sample
+  // vector is bitwise identical at any thread count.
+  const std::size_t per_server = exp.clients.size();
+  exp.samples.resize(exp.servers.size() * per_server);
+  world.pool().parallel_for(exp.samples.size(), [&](std::size_t i) {
+    const int server = exp.servers[i / per_server];
+    const int client = exp.clients[i % per_server];
+    // The server is the TCP sender (file download to the client).
+    exp.samples[i] = world.meter().measure(server, client, exp.overlays, at);
+  });
   return exp;
 }
 
@@ -33,16 +38,18 @@ ControlledExperiment run_controlled_experiment_on(World& world,
   exp.clients = clients;
   exp.overlays = world.rent_paper_overlays();
 
-  for (int client : exp.clients) {
-    for (int sender : exp.overlays) {
-      // The other four DCs act as overlay nodes for this measurement.
-      std::vector<int> relays;
-      for (int o : exp.overlays) {
-        if (o != sender) relays.push_back(o);
-      }
-      exp.samples.push_back(world.meter().measure(sender, client, relays, at));
+  const std::size_t per_client = exp.overlays.size();
+  exp.samples.resize(exp.clients.size() * per_client);
+  world.pool().parallel_for(exp.samples.size(), [&](std::size_t i) {
+    const int client = exp.clients[i / per_client];
+    const int sender = exp.overlays[i % per_client];
+    // The other four DCs act as overlay nodes for this measurement.
+    std::vector<int> relays;
+    for (int o : exp.overlays) {
+      if (o != sender) relays.push_back(o);
     }
-  }
+    exp.samples[i] = world.meter().measure(sender, client, relays, at);
+  });
   return exp;
 }
 
@@ -131,8 +138,11 @@ LongitudinalStudy run_longitudinal_study(World& world,
 
   const int n = std::min<int>(top_n, static_cast<int>(ranked.size()));
   const sim::Time start = sim::Time::hours(6);  // after the ranking event ends
-  for (int i = 0; i < n; ++i) {
-    LongitudinalStudy::Pair pair;
+  // One task per followed pair; the time series inside a pair stays
+  // sequential (its samples share nothing but the deterministic field).
+  study.pairs.resize(static_cast<std::size_t>(n));
+  world.pool().parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+    LongitudinalStudy::Pair& pair = study.pairs[i];
     pair.src = ranked[i].s->src;
     pair.dst = ranked[i].s->dst;
     pair.ranking_improvement = ranked[i].improvement;
@@ -155,8 +165,7 @@ LongitudinalStudy run_longitudinal_study(World& world,
       pair.history.overlay_rtt_ms.push_back(per_overlay_rtt);
       pair.best_split_series.push_back(s.best_split_bps());
     }
-    study.pairs.push_back(std::move(pair));
-  }
+  });
   return study;
 }
 

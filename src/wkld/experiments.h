@@ -9,6 +9,10 @@
 
 namespace cronets::wkld {
 
+// The experiment sweeps below fan their pair measurements out across
+// `world.pool()`. Sample vectors keep the historical (serial) ordering and
+// are bitwise identical at any thread count — see core::ModelMeasurement.
+
 /// §II-A / Figure 2 — "real-life web server" experiment: every client
 /// downloads from every mirror server, direct and via each of the five
 /// overlay DCs (110 x 10 x (1 + 5) ≈ 6,600 observed paths).

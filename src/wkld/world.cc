@@ -5,12 +5,24 @@ namespace cronets::wkld {
 using topo::Region;
 
 World::World(std::uint64_t seed, topo::TopologyParams params,
-             topo::CloudParams cloud) {
+             topo::CloudParams cloud, sim::Parallelism parallelism)
+    : seed_(seed), parallelism_(parallelism) {
   params.seed = seed;
   internet_ = std::make_unique<topo::Internet>(params, cloud);
   flow_ = std::make_unique<model::FlowModel>(internet_.get(), seed ^ 0x9e3779b9u);
   overlay_ = std::make_unique<core::OverlayNetwork>(internet_.get());
-  meter_ = std::make_unique<core::ModelMeasurement>(internet_.get(), flow_.get());
+  meter_ = std::make_unique<core::ModelMeasurement>(internet_.get(), flow_.get(),
+                                                    seed);
+}
+
+sim::ThreadPool& World::pool() {
+  if (!pool_) pool_ = std::make_unique<sim::ThreadPool>(parallelism_);
+  return *pool_;
+}
+
+void World::set_parallelism(sim::Parallelism par) {
+  parallelism_ = par;
+  pool_.reset();
 }
 
 namespace {

@@ -7,6 +7,7 @@
 #include "core/measure_model.h"
 #include "core/overlay.h"
 #include "model/flow_model.h"
+#include "sim/thread_pool.h"
 #include "topo/internet.h"
 
 namespace cronets::wkld {
@@ -15,16 +16,31 @@ namespace cronets::wkld {
 /// and the standard endpoint populations from the paper. Every bench and
 /// example builds a World from a seed so results are reproducible and
 /// consistent across figures.
+///
+/// The world also owns the measurement thread pool: experiment sweeps fan
+/// their (src, dst) pairs out across `pool()`. Results are bitwise
+/// independent of the thread count — per-pair noise is seeded from
+/// (seed, src, dst, t), never from a shared sequential stream.
 class World {
  public:
   explicit World(std::uint64_t seed = 42,
                  topo::TopologyParams params = topo::TopologyParams{},
-                 topo::CloudParams cloud = topo::CloudParams{});
+                 topo::CloudParams cloud = topo::CloudParams{},
+                 sim::Parallelism parallelism = sim::Parallelism{});
 
   topo::Internet& internet() { return *internet_; }
   model::FlowModel& flow() { return *flow_; }
   core::OverlayNetwork& overlay() { return *overlay_; }
   core::ModelMeasurement& meter() { return *meter_; }
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// The measurement pool (lazily built from the Parallelism config; auto
+  /// mode honours the CRONETS_THREADS environment variable).
+  sim::ThreadPool& pool();
+  /// Replace the parallelism config; the pool is rebuilt on next use.
+  void set_parallelism(sim::Parallelism par);
+  const sim::Parallelism& parallelism() const { return parallelism_; }
 
   /// PlanetLab-like client population (§II-A: 48 EU, 45 NA, 14 Asia, 3 AU
   /// when `total` is 110; other totals scale the mix).
@@ -42,10 +58,13 @@ class World {
   std::vector<int> rent_all_overlays();
 
  private:
+  std::uint64_t seed_;
+  sim::Parallelism parallelism_;
   std::unique_ptr<topo::Internet> internet_;
   std::unique_ptr<model::FlowModel> flow_;
   std::unique_ptr<core::OverlayNetwork> overlay_;
   std::unique_ptr<core::ModelMeasurement> meter_;
+  std::unique_ptr<sim::ThreadPool> pool_;
   int client_counter_ = 0;
   int server_counter_ = 0;
 };
