@@ -23,12 +23,12 @@ int main() {
 
   for (const auto& s : exp.samples) {
     const auto direct =
-        analysis::interface_hops(world.internet().path(s.src, s.dst));
+        analysis::interface_hops(*world.internet().cached_path(s.src, s.dst));
     for (const auto& o : s.overlays) {
       auto leg1 =
-          analysis::interface_hops(world.internet().path(s.src, o.overlay_ep));
+          analysis::interface_hops(*world.internet().cached_path(s.src, o.overlay_ep));
       const auto leg2 =
-          analysis::interface_hops(world.internet().path(o.overlay_ep, s.dst));
+          analysis::interface_hops(*world.internet().cached_path(o.overlay_ep, s.dst));
       leg1.insert(leg1.end(), leg2.begin(), leg2.end());
       const double score = analysis::diversity_score(direct, leg1);
       const auto loc = analysis::common_router_location(direct, leg1);

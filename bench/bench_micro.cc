@@ -1,12 +1,18 @@
-// Engine microbenchmarks (google-benchmark): event queue throughput,
-// end-to-end TCP simulation speed, topology generation and policy routing.
+// Engine microbenchmarks (google-benchmark): event queue throughput and
+// churn, path-cache hit/miss cost, end-to-end measurement rate, topology
+// generation and policy routing. After the google-benchmark tables, main()
+// runs a fixed end-to-end measure sweep and records it via bench::BenchRun,
+// so bench_results/bench_micro.json tracks measures/s (as pairs_per_s) and
+// seed-deterministic hot-path counters PR over PR.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "topo/internet.h"
 #include "transport/apps.h"
+#include "wkld/world.h"
 
 using namespace cronets;
 
@@ -23,6 +29,32 @@ static void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+// Steady-state schedule/cancel/fire cycling: every round retires 100 slots
+// back to the arena free list and reuses them, so this measures the
+// allocation-free churn path (and handle invalidation) rather than arena
+// growth.
+static void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(100);
+    long fired = 0;
+    for (int round = 0; round < 10; ++round) {
+      handles.clear();
+      for (int i = 0; i < 100; ++i) {
+        handles.push_back(q.schedule(sim::Time::microseconds(round * 100 + i),
+                                     [&] { ++fired; }));
+      }
+      for (int i = 0; i < 100; i += 2) handles[i].cancel();
+      while (q.run_next()) {
+      }
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
 
 static void BM_TcpBulkTransferSimSecond(benchmark::State& state) {
   for (auto _ : state) {
@@ -85,4 +117,160 @@ static void BM_RouterPathExpansion(benchmark::State& state) {
 }
 BENCHMARK(BM_RouterPathExpansion)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// Warm lookup of an interned path: one shared_lock + hash probe, the cost
+// every measure() pays per path after the first sweep.
+static void BM_PathCacheHit(benchmark::State& state) {
+  topo::TopologyParams p;
+  p.seed = 3;
+  topo::Internet net(p, topo::CloudParams{});
+  const int c = net.add_client(topo::Region::kEurope, "c");
+  const int s = net.add_server(topo::Region::kNaEast, "s");
+  net.cached_path(c, s);  // warm the entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.cached_path(c, s)->routers.size());
+  }
+}
+BENCHMARK(BM_PathCacheHit);
+
+// Cold lookup: policy-route + expand + intern. Compare against
+// BM_PathCacheHit for the per-path saving and against
+// BM_RouterPathExpansion for the interning overhead itself.
+static void BM_PathCacheMiss(benchmark::State& state) {
+  topo::TopologyParams p;
+  p.seed = 3;
+  topo::Internet net(p, topo::CloudParams{});
+  const int c = net.add_client(topo::Region::kEurope, "c");
+  const int s = net.add_server(topo::Region::kNaEast, "s");
+  for (auto _ : state) {
+    net.path_cache().invalidate();
+    benchmark::DoNotOptimize(net.cached_path(c, s)->routers.size());
+  }
+}
+BENCHMARK(BM_PathCacheMiss)->Unit(benchmark::kMicrosecond);
+
+// Full analytic measurement including overlay candidates — the hot path of
+// every figure sweep. Each iteration sweeps servers x clients at a fresh
+// timestamp; items processed = measure() calls.
+static void BM_EndToEndMeasure(benchmark::State& state) {
+  wkld::World world(bench::world_seed());
+  const auto clients = world.make_web_clients(8);
+  const auto servers = world.make_servers();
+  const auto overlays = world.rent_paper_overlays();
+  for (int s : servers)
+    for (int c : clients) world.meter().measure(s, c, overlays, sim::Time::hours(1));
+  long n = 0;
+  int rep = 0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    const sim::Time at = sim::Time::hours(1) + sim::Time::minutes(1 + rep % 59);
+    ++rep;
+    for (int s : servers)
+      for (int c : clients) {
+        sink += world.meter().measure(s, c, overlays, at).direct_bps;
+        ++n;
+      }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_EndToEndMeasure)->Unit(benchmark::kMillisecond);
+
+namespace {
+
+// Deterministic event-queue exercise: interleaved schedule/cancel with slot
+// reuse across rounds; returns 1 iff exactly the non-cancelled callbacks
+// fired, in timestamp-then-FIFO order.
+int event_queue_ok() {
+  sim::EventQueue q;
+  long fired = 0, expected = 0;
+  long order_violations = 0;
+  long last_key = -1;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<sim::EventHandle> hs;
+    for (int i = 0; i < 64; ++i) {
+      const long key = round * 64 + i;
+      hs.push_back(q.schedule(sim::Time::microseconds(round * 64 + i / 2), [&, key] {
+        ++fired;
+        if (key < last_key) ++order_violations;
+        last_key = key;
+      }));
+    }
+    for (int i = 1; i < 64; i += 3) hs[i].cancel();
+    expected += 64 - 21;  // 21 cancelled per round
+    while (q.run_next()) {
+    }
+  }
+  return (fired == expected && order_violations == 0) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  // --- recorded end-to-end sweep (bench_results/bench_micro.json) -------
+  // Fixed size regardless of CRONETS_QUICK: the sweep takes well under a
+  // second and the JSON checks must not depend on the mode.
+  bench::print_header("micro", "hot-path measurement sweep");
+  wkld::World world(bench::world_seed());
+  const auto clients = world.make_web_clients(30);
+  const auto servers = world.make_servers();
+  const auto overlays = world.rent_paper_overlays();
+
+  for (int s : servers)
+    for (int c : clients) world.meter().measure(s, c, overlays, sim::Time::hours(1));
+
+  auto& cache = world.internet().path_cache();
+  const std::uint64_t hits0 = cache.hits();
+  const std::uint64_t misses0 = cache.misses();
+
+  bench::BenchRun run("bench_micro");
+  long n = 0;
+  double direct_sum_bps = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const sim::Time at = sim::Time::hours(1) + sim::Time::minutes(rep);
+    for (int s : servers)
+      for (int c : clients) {
+        direct_sum_bps += world.meter().measure(s, c, overlays, at).direct_bps;
+        ++n;
+      }
+  }
+  run.stop_clock();
+  run.set_pairs(n);
+
+  const std::uint64_t sweep_hits = cache.hits() - hits0;
+  const std::uint64_t sweep_misses = cache.misses() - misses0;
+
+  // Fast-path aggregates must reproduce the generic sampler bit for bit.
+  int fast_eq_generic = 1;
+  for (int s : servers) {
+    for (int c : clients) {
+      const topo::PathRef p = world.internet().cached_path(s, c);
+      const model::PathMetrics fast = world.flow().sample(p, sim::Time::minutes(90));
+      const model::PathMetrics ref = world.flow().sample(*p, sim::Time::minutes(90));
+      if (fast.rtt_ms != ref.rtt_ms || fast.loss != ref.loss ||
+          fast.residual_bps != ref.residual_bps ||
+          fast.capacity_bps != ref.capacity_bps || fast.hop_count != ref.hop_count) {
+        fast_eq_generic = 0;
+      }
+    }
+  }
+
+  run.finish({
+      {"micro: mean direct throughput (Mbit/s)", 76.161,
+       direct_sum_bps / static_cast<double>(n) / 1e6},
+      {"micro: sweep path-cache misses (expect 0, all warm)", 0.0,
+       static_cast<double>(sweep_misses)},
+      {"micro: sweep path-cache hit count / 1000", 33.0,
+       static_cast<double>(sweep_hits) / 1000.0},
+      {"micro: interned paths == cache misses (1=yes)", 1.0,
+       cache.size() == cache.misses() ? 1.0 : 0.0},
+      {"micro: fast sample == generic sample (1=yes)", 1.0,
+       static_cast<double>(fast_eq_generic)},
+      {"micro: event-queue churn order+count ok (1=yes)", 1.0,
+       static_cast<double>(event_queue_ok())},
+  });
+  return 0;
+}

@@ -59,7 +59,10 @@ PairSample ModelMeasurement::measure(int src_ep, int dst_ep,
   // fixed, so the sample is reproducible no matter where it runs.
   sim::Rng rng(sim::pair_seed(seed_ ^ flow_->seed(), src_ep, dst_ep, t.ns()));
 
-  const topo::RouterPath direct = topo_->path(src_ep, dst_ep);
+  // Interned paths + precomputed aggregates: the direct path and both legs
+  // of every overlay candidate are looked up, never rebuilt, so the only
+  // per-call work left is evaluating the stochastic link field.
+  const topo::PathRef direct = topo_->cached_path(src_ep, dst_ep);
   model::PathMetrics dm = flow_->sample(direct, t);
   dm.rwnd_bytes = static_cast<double>(topo_->endpoint(dst_ep).rcv_buf);
   out.direct_bps = flow_->tcp_throughput(dm, rng);
@@ -67,10 +70,11 @@ PairSample ModelMeasurement::measure(int src_ep, int dst_ep,
   out.direct_loss = dm.loss;
   out.direct_hops = dm.hop_count;
 
+  out.overlays.reserve(overlay_eps.size());
   for (int o : overlay_eps) {
     if (o == src_ep || o == dst_ep) continue;
-    const topo::RouterPath leg1 = topo_->path(src_ep, o);
-    const topo::RouterPath leg2 = topo_->path(o, dst_ep);
+    const topo::PathRef leg1 = topo_->cached_path(src_ep, o);
+    const topo::PathRef leg2 = topo_->cached_path(o, dst_ep);
     model::PathMetrics m1 = flow_->sample(leg1, t);
     model::PathMetrics m2 = flow_->sample(leg2, t);
     // Split-TCP legs terminate at their own receivers: the overlay VM for

@@ -1,6 +1,7 @@
 #include "model/flow_model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "sim/hash_rng.h"
@@ -8,6 +9,36 @@
 namespace cronets::model {
 
 using sim::Time;
+
+namespace detail {
+std::uint64_t next_flow_model_tag() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+namespace {
+
+// Per-thread memo of field_utilization results, keyed by the link
+// direction's innovation stream id. The value is a pure function of
+// (model, topology mutation epoch, stream, t); the tag comparison is exact,
+// so a hit returns the same bits a recompute would. Shared links — access
+// links on every overlay leg, common backbone hops — are evaluated once per
+// (thread, timestep) instead of once per path traversal.
+struct FieldMemoEntry {
+  std::uint64_t model = 0;
+  std::uint64_t epoch = 0;
+  std::int64_t t_ns = 0;
+  double u = 0.0;
+  bool valid = false;
+};
+
+std::unordered_map<std::uint64_t, FieldMemoEntry>& field_memo() {
+  thread_local std::unordered_map<std::uint64_t, FieldMemoEntry> memo;
+  return memo;
+}
+
+}  // namespace
 
 double pftk_throughput_bps(double rtt_ms, double loss, double residual_bps,
                            double capacity_bps, const TcpModelParams& p) {
@@ -96,6 +127,126 @@ PathMetrics FlowModel::sample(const topo::RouterPath& path, Time t) const {
   m.loss = 1.0 - survive;
   m.rtt_ms = 2.0 * oneway_ms;
   m.hop_count = static_cast<int>(path.routers.size());
+  return m;
+}
+
+std::shared_ptr<const FlowModel::PathAggregates> FlowModel::build_aggregates(
+    const topo::PathRef& path) const {
+  // Every constant below replicates the exact expression the generic
+  // sample()/utilization() pair evaluates per call, so the fast path's
+  // arithmetic stays bitwise identical.
+  auto agg = std::make_shared<PathAggregates>();
+  agg->path = path;
+  agg->hop_count = static_cast<int>(path->routers.size());
+  agg->links.reserve(path->traversals.size());
+  double oneway_ms = 0.0;
+  for (const auto& trav : path->traversals) {
+    const auto& link = topo_->links()[trav.link_id];
+    LinkField f;
+    f.bg = trav.forward ? link.bg_fwd : link.bg_rev;
+    f.delay_ms = link.delay_ms;
+    f.capacity_bps = link.capacity_bps;
+    f.pkt_ms = 1500.0 * 8.0 / link.capacity_bps * 1e3;
+    f.a = std::clamp(1.0 - f.bg.theta, 0.0, 0.999);
+    f.epoch_ns = std::max<std::int64_t>(f.bg.epoch.ns(), 1);
+    f.stream = sim::hash_combine(
+        seed_,
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(trav.link_id)) << 1) |
+            (trav.forward ? 1u : 0u));
+    f.horizon = 1;
+    if (f.a > 1e-3) {
+      f.horizon =
+          std::min(64, static_cast<int>(std::ceil(-6.907755 / std::log(f.a))));
+    }
+    double w = 1.0, w2_sum = 0.0;
+    for (int j = 0; j < f.horizon; ++j) {
+      w2_sum += w * w;
+      w *= f.a;
+    }
+    f.stationary_sd = f.bg.sigma / std::sqrt(std::max(1e-9, 1.0 - f.a * f.a));
+    f.sqrt_w2 = std::sqrt(w2_sum);
+    f.has_diurnal = f.bg.diurnal_amp != 0.0;
+    for (const auto& ev : topo_->events()) {
+      if (ev.link_id == trav.link_id && ev.forward == trav.forward) {
+        f.events.push_back(ev);
+      }
+    }
+    oneway_ms += link.delay_ms;
+    agg->min_capacity_bps = std::min(agg->min_capacity_bps, link.capacity_bps);
+    agg->links.push_back(std::move(f));
+  }
+  agg->base_rtt_ms = 2.0 * oneway_ms;
+  return agg;
+}
+
+std::shared_ptr<const FlowModel::PathAggregates> FlowModel::aggregates(
+    const topo::PathRef& path) const {
+  const std::uint64_t epoch = topo_->mutation_epoch();
+  {
+    std::shared_lock<std::shared_mutex> lk(agg_mu_);
+    if (agg_epoch_ == epoch) {
+      auto it = agg_cache_.find(path.get());
+      if (it != agg_cache_.end()) return it->second;
+    }
+  }
+  // Build outside the lock; the first insert wins on a race (identical
+  // aggregates either way — they are a pure function of path and epoch).
+  auto agg = build_aggregates(path);
+  std::unique_lock<std::shared_mutex> lk(agg_mu_);
+  if (agg_epoch_ != epoch) {
+    agg_cache_.clear();
+    agg_epoch_ = epoch;
+  }
+  return agg_cache_.emplace(path.get(), std::move(agg)).first->second;
+}
+
+double FlowModel::field_utilization(const LinkField& f, Time t) const {
+  const std::uint64_t epoch = topo_->mutation_epoch();
+  FieldMemoEntry& memo = field_memo()[f.stream];
+  if (memo.valid && memo.model == model_tag_ && memo.epoch == epoch &&
+      memo.t_ns == t.ns()) {
+    return memo.u;
+  }
+  // Mirror of utilization() over precomputed constants; every floating
+  // point operation appears in the same shape and order.
+  const std::int64_t n = t.ns() / f.epoch_ns;
+  double acc = 0.0, w = 1.0;
+  for (int j = 0; j < f.horizon; ++j) {
+    acc += w * sim::hash_centered(
+                   sim::hash_combine(f.stream, static_cast<std::uint64_t>(n - j)));
+    w *= f.a;
+  }
+  double u = f.bg.mean_util + acc * f.stationary_sd / f.sqrt_w2;
+  u = std::clamp(u, 0.0, 0.98);
+  // diurnal_component returns exactly 0.0 when the amplitude is zero, and
+  // u >= 0 here, so skipping the call cannot change the sum's bits.
+  double out = f.has_diurnal ? u + net::diurnal_component(f.bg, t) : u;
+  for (const auto& ev : f.events) {
+    if (t >= ev.from && t < ev.until) out += ev.util_boost;
+  }
+  out = std::clamp(out, 0.0, 0.98);
+  memo = FieldMemoEntry{model_tag_, epoch, t.ns(), out, true};
+  return out;
+}
+
+PathMetrics FlowModel::sample(const topo::PathRef& path, Time t) const {
+  const auto agg = aggregates(path);
+  PathMetrics m;
+  m.capacity_bps = agg->min_capacity_bps;
+  m.residual_bps = 1e18;
+  double survive = 1.0;
+  double oneway_ms = 0.0;
+  for (const LinkField& f : agg->links) {
+    const double u = field_utilization(f, t);
+    survive *= (1.0 - net::loss_from_utilization(f.bg, u));
+    oneway_ms += f.delay_ms;
+    // Light cross-traffic queueing (M/M/1-ish, negligible except when hot).
+    oneway_ms += std::min(5.0, u / std::max(0.02, 1.0 - u) * f.pkt_ms);
+    m.residual_bps = std::min(m.residual_bps, f.capacity_bps * (1.0 - u));
+  }
+  m.loss = 1.0 - survive;
+  m.rtt_ms = 2.0 * oneway_ms;
+  m.hop_count = agg->hop_count;
   return m;
 }
 

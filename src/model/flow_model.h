@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/rng.h"
@@ -52,6 +55,12 @@ double pftk_throughput_bps(double rtt_ms, double loss, double residual_bps,
 /// throughput predictors draw measurement noise: pass an explicit `Rng`
 /// (e.g. a per-pair stream) from parallel code; the overloads without one
 /// use the model's own serial stream and are NOT thread-safe.
+namespace detail {
+/// Process-unique tag per FlowModel instance; keys the per-thread
+/// field-value memo so models over different topologies never alias.
+std::uint64_t next_flow_model_tag();
+}  // namespace detail
+
 class FlowModel {
  public:
   FlowModel(topo::Internet* topo, std::uint64_t seed)
@@ -66,8 +75,46 @@ class FlowModel {
 
   /// Sample the instantaneous metrics of a router path.
   PathMetrics sample(const topo::RouterPath& path, sim::Time t) const;
+  /// Fast-path overload for interned paths: per-path constants (AR(1)
+  /// field parameters, direction-resolved link conditions, matching
+  /// transient events) are precomputed once per cached path, so the
+  /// per-sample loop evaluates only the stochastic field itself. Bitwise
+  /// identical to the generic overload — enforced by tests.
+  PathMetrics sample(const topo::PathRef& path, sim::Time t) const;
   /// Metrics of the concatenation A->O->B (one tunnel; RTT and loss add).
   static PathMetrics concat(const PathMetrics& a, const PathMetrics& b);
+
+  /// Static per-link constants of one directed traversal, precomputed at
+  /// aggregate-build time so `sample` touches no topology state.
+  struct LinkField {
+    net::BackgroundParams bg;   ///< direction-resolved condition (copy)
+    double delay_ms = 0.0;
+    double capacity_bps = 0.0;
+    double pkt_ms = 0.0;        ///< 1500-byte serialization time, ms
+    std::uint64_t stream = 0;   ///< AR(1) innovation stream id
+    std::int64_t epoch_ns = 1;
+    double a = 0.0;             ///< AR(1) coefficient
+    int horizon = 1;            ///< truncation length of the weighted sum
+    double stationary_sd = 0.0;
+    double sqrt_w2 = 1.0;       ///< sqrt of the truncated weight norm
+    bool has_diurnal = false;
+    std::vector<topo::LinkEvent> events;  ///< transients on this direction
+  };
+
+  /// Precomputed static aggregates of one interned path: the quantities
+  /// the per-sample loop would otherwise re-derive on every call.
+  struct PathAggregates {
+    topo::PathRef path;          ///< pins the keying pointer alive
+    double base_rtt_ms = 0.0;    ///< uncongested propagation RTT
+    int hop_count = 0;
+    double min_capacity_bps = 1e18;
+    std::vector<LinkField> links;
+  };
+
+  /// The (memoized) aggregates of an interned path. Thread-safe; entries
+  /// are invalidated when the Internet's mutation_epoch advances (transient
+  /// events added, BGP failures injected).
+  std::shared_ptr<const PathAggregates> aggregates(const topo::PathRef& path) const;
 
   // --- Throughput predictors (bit/s), with measurement noise ---
   double tcp_throughput(const PathMetrics& m, sim::Rng& rng) const;
@@ -111,10 +158,25 @@ class FlowModel {
     return std::exp(rng.normal(0.0, params_.noise_sigma));
   }
 
+  std::shared_ptr<const PathAggregates> build_aggregates(
+      const topo::PathRef& path) const;
+  double field_utilization(const LinkField& f, sim::Time t) const;
+
   topo::Internet* topo_;
   std::uint64_t seed_;
+  std::uint64_t model_tag_ = detail::next_flow_model_tag();
   sim::Rng rng_;  ///< serial stream backing the legacy overloads only
   TcpModelParams params_;
+
+  // Per-path aggregate memo, keyed on the interned path's address (the
+  // stored PathRef inside each entry keeps that address from being
+  // recycled). agg_epoch_ tracks the Internet mutation epoch the entries
+  // were built against; a mismatch clears the memo lazily.
+  mutable std::shared_mutex agg_mu_;
+  mutable std::unordered_map<const topo::RouterPath*,
+                             std::shared_ptr<const PathAggregates>>
+      agg_cache_;
+  mutable std::uint64_t agg_epoch_ = 0;  // guarded by agg_mu_
 };
 
 }  // namespace cronets::model

@@ -52,7 +52,7 @@ class Host : public Node {
   void forward(Packet pkt);
 
   void add_uplink(Link* l) { uplinks_.push_back(l); }
-  void add_route(IpAddr dst, Link* next_hop) { routes_[dst] = next_hop; }
+  void add_route(IpAddr dst, Link* next_hop) override { routes_[dst] = next_hop; }
   Link* route(IpAddr dst) const;
 
   void bind(TransportPort port, SegmentSink* sink) { tcp_sinks_[port] = sink; }

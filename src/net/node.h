@@ -20,6 +20,11 @@ class Node {
   /// Deliver `pkt` arriving over `from` (nullptr for locally injected).
   virtual void receive(Packet pkt, Link* from) = 0;
 
+  /// Install `next_hop` as the route toward `dst`. Routers and hosts both
+  /// keep host routes; the topology layer installs paths without caring
+  /// which it is talking to.
+  virtual void add_route(IpAddr dst, Link* next_hop) = 0;
+
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
 

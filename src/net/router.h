@@ -19,7 +19,7 @@ class Router : public Node {
 
   void receive(Packet pkt, Link* from) override;
 
-  void add_route(IpAddr dst, Link* next_hop) { table_[dst] = next_hop; }
+  void add_route(IpAddr dst, Link* next_hop) override { table_[dst] = next_hop; }
   Link* route(IpAddr dst) const {
     auto it = table_.find(dst);
     return it == table_.end() ? nullptr : it->second;

@@ -1,77 +1,157 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace cronets::sim {
 
+class EventQueue;
+
 /// Handle to a scheduled event; allows O(1) logical cancellation.
 /// Cancelled events stay in the heap but are skipped when popped.
+///
+/// A handle is a (queue, slot, generation) triple into the queue's event
+/// arena: when the event fires or is cancelled its slot's generation is
+/// bumped, so stale handles become inert (pending() false, cancel() no-op).
+/// Handles must not outlive their EventQueue.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True if this handle refers to an event that has not fired or been
   /// cancelled yet.
-  bool pending() const { return state_ && !*state_; }
+  bool pending() const;
 
   /// Cancel the event. Safe to call on empty or already-fired handles.
-  void cancel() {
-    if (state_) *state_ = true;
-  }
+  void cancel();
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
-  std::shared_ptr<bool> state_;  // *state_ == true  =>  cancelled or fired
+  EventHandle(EventQueue* q, std::uint32_t slot, std::uint32_t gen)
+      : queue_(q), slot_(slot), gen_(gen) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// Priority queue of timed callbacks. FIFO among events with equal time.
+///
+/// Storage is an arena of generation-counted slots recycled through a free
+/// list: each scheduled callback is constructed in place inside its slot
+/// (heap fallback only for callables larger than the inline buffer), heap
+/// entries are 24-byte PODs, and slot chunks are allocated once and reused
+/// for the lifetime of the queue — so steady-state schedule/cancel/fire
+/// cycles perform no allocations at all.
 class EventQueue {
  public:
+  /// Legacy alias; schedule() accepts any callable, not just std::function.
   using Callback = std::function<void()>;
 
-  EventHandle schedule(Time at, Callback cb) {
-    auto state = std::make_shared<bool>(false);
-    heap_.push(Entry{at, next_seq_++, std::move(cb), state});
-    return EventHandle{std::move(state)};
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  ~EventQueue() {
+    for (std::uint32_t i = 0; i < slot_count_; ++i) {
+      Slot& s = slot(i);
+      if (s.invoke != nullptr) s.release();
+    }
+  }
+
+  template <typename F>
+  EventHandle schedule(Time at, F&& cb) {
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot(idx);
+    s.emplace(std::forward<F>(cb));
+    heap_.push(Entry{at, next_seq_++, idx, s.gen});
+    return EventHandle{this, idx, s.gen};
   }
 
   /// True when no live (non-cancelled) event remains.
   bool empty() {
-    drop_cancelled();
+    drop_stale();
     return heap_.empty();
   }
 
   /// Earliest live event time; Time::max() when empty.
   Time next_time() {
-    drop_cancelled();
+    drop_stale();
     return heap_.empty() ? Time::max() : heap_.top().at;
   }
 
   /// Pop and run the earliest live event. Returns false when empty.
   bool run_next(Time* fired_at = nullptr) {
-    drop_cancelled();
+    drop_stale();
     if (heap_.empty()) return false;
-    Entry e = heap_.top();
+    const Entry e = heap_.top();  // POD — no callback copied off the heap
     heap_.pop();
-    *e.cancelled = true;  // mark fired so handle.pending() flips
+    Slot& s = slot(e.slot);
+    // Invalidate handles before running (pending() flips, and a cancel()
+    // from inside the callback is a harmless no-op), but keep the slot off
+    // the free list until the callback returns so reentrant schedule()
+    // calls cannot reuse its storage.
+    ++s.gen;
     if (fired_at) *fired_at = e.at;
-    e.cb();
+    s.invoke(s.storage);
+    s.release();
+    free_slot(e.slot);
     return true;
   }
 
  private:
+  friend class EventHandle;
+
+  /// Callables up to this size (and with fundamental alignment) run from
+  /// the slot itself; larger ones fall back to one heap allocation. Sized
+  /// so the packet-in-flight lambdas of net::Link stay inline.
+  static constexpr std::size_t kInlineBytes = 248;
+  static constexpr std::uint32_t kSlotsPerChunk = 128;
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  struct Slot {
+    void (*invoke)(void*) = nullptr;   // non-null iff a callback is stored
+    void (*destroy)(void*) = nullptr;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoFreeSlot;
+    alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+
+    template <typename F>
+    void emplace(F&& cb) {
+      using Fn = std::decay_t<F>;
+      if constexpr (sizeof(Fn) <= kInlineBytes &&
+                    alignof(Fn) <= alignof(std::max_align_t)) {
+        ::new (static_cast<void*>(storage)) Fn(std::forward<F>(cb));
+        invoke = [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); };
+        destroy = [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); };
+      } else {
+        ::new (static_cast<void*>(storage)) Fn*(new Fn(std::forward<F>(cb)));
+        invoke = [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); };
+        destroy = [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); };
+      }
+    }
+
+    void release() {
+      destroy(storage);
+      invoke = nullptr;
+      destroy = nullptr;
+    }
+  };
+
   struct Entry {
     Time at;
     std::uint64_t seq;
-    Callback cb;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t gen;
 
     bool operator>(const Entry& o) const {
       if (at != o.at) return at > o.at;
@@ -79,12 +159,65 @@ class EventQueue {
     }
   };
 
-  void drop_cancelled() {
-    while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  Slot& slot(std::uint32_t idx) {
+    return chunks_[idx / kSlotsPerChunk][idx % kSlotsPerChunk];
+  }
+  const Slot& slot(std::uint32_t idx) const {
+    return chunks_[idx / kSlotsPerChunk][idx % kSlotsPerChunk];
   }
 
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoFreeSlot) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = slot(idx).next_free;
+      return idx;
+    }
+    if (slot_count_ == chunks_.size() * kSlotsPerChunk) {
+      chunks_.push_back(std::make_unique<Slot[]>(kSlotsPerChunk));
+    }
+    return slot_count_++;
+  }
+
+  void free_slot(std::uint32_t idx) {
+    Slot& s = slot(idx);
+    s.next_free = free_head_;
+    free_head_ = idx;
+  }
+
+  bool live(std::uint32_t idx, std::uint32_t gen) const {
+    return idx < slot_count_ && slot(idx).gen == gen &&
+           slot(idx).invoke != nullptr;
+  }
+
+  void cancel(std::uint32_t idx, std::uint32_t gen) {
+    if (!live(idx, gen)) return;
+    Slot& s = slot(idx);
+    ++s.gen;  // stale heap entry is dropped when it reaches the top
+    s.release();
+    free_slot(idx);
+  }
+
+  void drop_stale() {
+    while (!heap_.empty() && slot(heap_.top().slot).gen != heap_.top().gen) {
+      heap_.pop();
+    }
+  }
+
+  // Chunked so slot addresses stay stable while callbacks run and schedule
+  // more events; chunks are never returned until destruction.
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNoFreeSlot;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::uint64_t next_seq_ = 0;
 };
+
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->live(slot_, gen_);
+}
+
+inline void EventHandle::cancel() {
+  if (queue_ != nullptr) queue_->cancel(slot_, gen_);
+}
 
 }  // namespace cronets::sim

@@ -25,15 +25,19 @@ class Simulator {
 
   Time now() const { return now_; }
 
-  /// Schedule `cb` at absolute time `at` (must be >= now()).
-  EventHandle schedule_at(Time at, EventQueue::Callback cb) {
+  /// Schedule `cb` at absolute time `at` (must be >= now()). Accepts any
+  /// callable; it is stored in the event arena without a std::function
+  /// round-trip (no allocation for reasonably-sized captures).
+  template <typename F>
+  EventHandle schedule_at(Time at, F&& cb) {
     assert(at >= now_ && "cannot schedule into the past");
-    return queue_.schedule(at, std::move(cb));
+    return queue_.schedule(at, std::forward<F>(cb));
   }
 
   /// Schedule `cb` after `delay` from now.
-  EventHandle schedule_in(Time delay, EventQueue::Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+  template <typename F>
+  EventHandle schedule_in(Time delay, F&& cb) {
+    return schedule_at(now_ + delay, std::forward<F>(cb));
   }
 
   /// Run every event with time <= deadline. Clock ends at the deadline.

@@ -383,7 +383,11 @@ bool Internet::set_adjacency_up(int as_a, int as_b, bool up) {
       }
     }
   }
-  if (found) routing_.invalidate();
+  if (found) {
+    routing_.invalidate();
+    path_cache_.invalidate();  // interned paths may route differently now
+    ++mutation_epoch_;
+  }
   return found;
 }
 

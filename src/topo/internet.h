@@ -10,6 +10,7 @@
 
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "topo/path_cache.h"
 #include "topo/types.h"
 
 namespace cronets::topo {
@@ -182,6 +183,13 @@ class Internet {
 
   /// Policy-routed router-level path between two endpoints.
   RouterPath path(int ep_src, int ep_dst);
+  /// Interned immutable version of `path()` (computed once per pair,
+  /// thread-safe). Measurement hot paths use this; the returned object is
+  /// shared, never recomputed until the topology mutates.
+  PathRef cached_path(int ep_src, int ep_dst) {
+    return path_cache_.get(ep_src, ep_dst);
+  }
+  PathCache& path_cache() { return path_cache_; }
   /// Base (uncongested) round-trip time of a path in ms.
   double base_rtt_ms(const RouterPath& p) const;
   /// Direct cloud-backbone path between two DC endpoints (multi-hop
@@ -190,8 +198,17 @@ class Internet {
   RouterPath backbone_path(int dc_ep_a, int dc_ep_b);
 
   // --- dynamics -------------------------------------------------------
-  void add_event(const LinkEvent& ev) { events_.push_back(ev); }
+  void add_event(const LinkEvent& ev) {
+    events_.push_back(ev);
+    ++mutation_epoch_;  // derived per-path caches must recompute event lists
+  }
   const std::vector<LinkEvent>& events() const { return events_; }
+
+  /// Monotonic counter bumped by every post-construction mutation that can
+  /// change path-derived quantities (transient events, BGP failures).
+  /// Consumers caching per-path state compare epochs to invalidate lazily.
+  /// Mutations happen in the single-threaded setup phase between sweeps.
+  std::uint64_t mutation_epoch() const { return mutation_epoch_; }
 
   /// AS-level failure injection: take the BGP session between two
   /// adjacent ASes down (or back up). Invalidates the routing cache —
@@ -237,7 +254,9 @@ class Internet {
   std::unordered_map<Region, std::vector<int>> stubs_by_region_;
   std::unordered_map<Region, int> next_stub_in_region_;
   std::vector<LinkEvent> events_;
+  std::uint64_t mutation_epoch_ = 0;
   Routing routing_{&ases_};
+  PathCache path_cache_{this};
 };
 
 }  // namespace cronets::topo

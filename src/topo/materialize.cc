@@ -86,39 +86,35 @@ void Materializer::install_direction(const RouterPath& p, int ep_src, int ep_dst
 
   for (std::size_t i = 0; i < p.traversals.size(); ++i) {
     const Traversal& t = p.traversals[i];
-    const TopoLink& tl = topo_->links()[t.link_id];
     net::Node* from = nodes[i];
     net::Node* to = nodes[i + 1];
     // Is `from` the topo link's router_a side for this traversal?
     const bool from_is_a = t.forward;
-    (void)tl;
     auto [fwd, rev] = materialize_link(t.link_id, from, to, from_is_a);
     net::Link* hop = t.forward ? fwd : rev;
     // Install the next hop toward dst_addr at `from`.
-    if (auto* r = dynamic_cast<net::Router*>(from)) {
-      r->add_route(dst_addr, hop);
-    } else if (auto* h = dynamic_cast<net::Host*>(from)) {
-      h->add_route(dst_addr, hop);
-    }
+    from->add_route(dst_addr, hop);
   }
 }
 
 void Materializer::add_pair(int ep_a, int ep_b) {
   net::Host* ha = host(ep_a);
   net::Host* hb = host(ep_b);
-  RouterPath fwd = topo_->path(ep_a, ep_b);
-  RouterPath rev = topo_->path(ep_b, ep_a);
-  assert(fwd.valid && rev.valid && "endpoints not connected");
-  install_direction(fwd, ep_a, ep_b, hb->addr());
-  install_direction(rev, ep_b, ep_a, ha->addr());
+  // Interned paths: the packet-level slice reuses exactly the RouterPath
+  // objects the analytic sweeps measured.
+  const PathRef fwd = topo_->cached_path(ep_a, ep_b);
+  const PathRef rev = topo_->cached_path(ep_b, ep_a);
+  assert(fwd->valid && rev->valid && "endpoints not connected");
+  install_direction(*fwd, ep_a, ep_b, hb->addr());
+  install_direction(*rev, ep_b, ep_a, ha->addr());
 }
 
 void Materializer::add_alias_path(net::IpAddr alias, int ep_src, int ep_dst) {
   net::Host* hd = host(ep_dst);
   hd->add_alias(alias);
-  RouterPath p = topo_->path(ep_src, ep_dst);
-  assert(p.valid);
-  install_direction(p, ep_src, ep_dst, alias);
+  const PathRef p = topo_->cached_path(ep_src, ep_dst);
+  assert(p->valid);
+  install_direction(*p, ep_src, ep_dst, alias);
 }
 
 void Materializer::add_backbone_pair(int dc_ep_a, int dc_ep_b) {

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "topo/types.h"
+
+namespace cronets::topo {
+
+class Internet;
+
+/// Thread-safe interning memo of policy-routed paths, keyed on
+/// (src_endpoint, dst_endpoint). The paper-scale sweeps sample the same
+/// few thousand paths over and over (every `measure()` call touches the
+/// direct path plus both legs of every overlay candidate); this cache
+/// computes each RouterPath once and hands out shared immutable references,
+/// taking path expansion — and its per-call vector churn — off the hot
+/// path entirely.
+///
+/// Mirrors the Routing::to() cache contract: `get` is safe to call
+/// concurrently (reader/writer lock; a miss computes outside the lock and
+/// the first insert wins, so all threads intern one object per pair).
+/// `invalidate` must not race with queries — topology mutations happen in
+/// the single-threaded setup phase between measurement sweeps.
+class PathCache {
+ public:
+  explicit PathCache(Internet* topo) : topo_(topo) {}
+
+  /// The interned policy path src -> dst (computed on first use).
+  PathRef get(int ep_src, int ep_dst);
+
+  /// Drop every interned path (topology changed). Outstanding PathRefs
+  /// stay valid — they go stale, not dangling.
+  void invalidate();
+
+  /// Lifetime hit/miss counters (relaxed; exact in single-threaded runs).
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Number of currently interned paths.
+  std::size_t size() const;
+
+ private:
+  static std::uint64_t key(int ep_src, int ep_dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ep_src)) << 32) |
+           static_cast<std::uint32_t>(ep_dst);
+  }
+
+  Internet* topo_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::uint64_t, PathRef> cache_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace cronets::topo

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -138,5 +139,10 @@ struct RouterPath {
   std::vector<int> as_seq;           ///< AS-level path
   bool valid = false;
 };
+
+/// Shared immutable path as returned by the interning PathCache. Pointer
+/// identity is stable for the lifetime of the cache entry, so consumers may
+/// key their own per-path memos on the RouterPath address.
+using PathRef = std::shared_ptr<const RouterPath>;
 
 }  // namespace cronets::topo
