@@ -76,6 +76,12 @@ class BenchRun {
 
   /// Record how many endpoint pairs the measurement phase swept.
   void set_pairs(long pairs) { pairs_ = pairs; }
+  /// Attach a machine-performance metric (wall-clock latencies, rates) to
+  /// the JSON under "extra". Unlike `checks`, extra values may depend on
+  /// the machine and thread count — keep seed-determined results in checks.
+  void add_extra(const std::string& key, double value) {
+    extra_.emplace_back(key, value);
+  }
   /// Stop the measurement clock (call right after the sweep; printing and
   /// aggregation below it are excluded). Without an explicit call,
   /// `finish()` stops it.
@@ -124,6 +130,14 @@ class BenchRun {
     std::fprintf(f, "  \"pairs\": %ld,\n", pairs_);
     std::fprintf(f, "  \"pairs_per_s\": %.3f,\n",
                  pairs_ > 0 && wall_s_ > 0 ? pairs_ / wall_s_ : 0.0);
+    if (!extra_.empty()) {
+      std::fprintf(f, "  \"extra\": {");
+      for (std::size_t i = 0; i < extra_.size(); ++i) {
+        std::fprintf(f, "%s\n    \"%s\": %.17g", i ? "," : "",
+                     json_escape(extra_[i].first).c_str(), extra_[i].second);
+      }
+      std::fprintf(f, "\n  },\n");
+    }
     std::fprintf(f, "  \"checks\": [");
     for (std::size_t i = 0; i < checks.size(); ++i) {
       std::fprintf(f, "%s\n    {\"metric\": \"%s\", \"paper\": %.17g, \"measured\": %.17g}",
@@ -138,6 +152,7 @@ class BenchRun {
   std::chrono::steady_clock::time_point start_;
   double wall_s_ = -1.0;
   long pairs_ = 0;
+  std::vector<std::pair<std::string, double>> extra_;
 };
 
 }  // namespace cronets::bench

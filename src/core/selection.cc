@@ -8,11 +8,19 @@
 namespace cronets::core {
 
 namespace {
+/// Overlay row at sample t; histories can be ragged or shorter than
+/// `direct`, so a missing row reads as empty instead of out-of-bounds.
+const std::vector<double>& overlay_row(const PairHistory& h, std::size_t t) {
+  static const std::vector<double> kEmpty;
+  return t < h.overlay.size() ? h.overlay[t] : kEmpty;
+}
+
 /// Max over a subset mask of overlay throughputs at sample t.
 double subset_max(const PairHistory& h, std::size_t t, unsigned mask) {
+  const auto& row = overlay_row(h, t);
   double best = 0.0;
-  for (std::size_t k = 0; k < h.overlay[t].size(); ++k) {
-    if (mask & (1u << k)) best = std::max(best, h.overlay[t][k]);
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    if (mask & (1u << k)) best = std::max(best, row[k]);
   }
   return best;
 }
@@ -21,7 +29,7 @@ double subset_max(const PairHistory& h, std::size_t t, unsigned mask) {
 int min_overlays_required(const PairHistory& h, double tolerance) {
   const std::size_t n = h.overlays();
   assert(n <= 16 && "subset search is exponential in overlay count");
-  if (n == 0) return 0;
+  if (n == 0 || h.times() == 0) return 0;
 
   for (int k = 1; k <= static_cast<int>(n); ++k) {
     // Try every subset of size k.
@@ -41,7 +49,9 @@ int min_overlays_required(const PairHistory& h, double tolerance) {
 
 double best_subset_avg_bps(const PairHistory& h, int k, std::vector<int>* chosen) {
   const std::size_t n = h.overlays();
-  assert(k >= 1 && k <= static_cast<int>(n));
+  if (chosen) chosen->clear();
+  if (n == 0 || k < 1 || h.times() == 0) return 0.0;
+  k = std::min(k, static_cast<int>(n));
   double best_avg = -1.0;
   unsigned best_mask = 0;
   for (unsigned mask = 1; mask < (1u << n); ++mask) {
@@ -55,7 +65,6 @@ double best_subset_avg_bps(const PairHistory& h, int k, std::vector<int>* chosen
     }
   }
   if (chosen) {
-    chosen->clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (best_mask & (1u << i)) chosen->push_back(static_cast<int>(i));
     }
@@ -68,19 +77,23 @@ std::vector<double> ProbeSelector::achieved(const PairHistory& h) {
   out.reserve(h.times());
   int choice = -1;  // start on the direct path
   for (std::size_t t = 0; t < h.times(); ++t) {
+    const auto& row = overlay_row(h, t);
     if (t % static_cast<std::size_t>(std::max(1, interval_)) == 0) {
       // Probe: pick the best path as of this sample.
       choice = -1;
       double best = h.direct[t];
-      for (std::size_t k = 0; k < h.overlay[t].size(); ++k) {
-        if (h.overlay[t][k] > best) {
-          best = h.overlay[t][k];
+      for (std::size_t k = 0; k < row.size(); ++k) {
+        if (row[k] > best) {
+          best = row[k];
           choice = static_cast<int>(k);
         }
       }
     }
-    out.push_back(choice < 0 ? h.direct[t]
-                             : h.overlay[t][static_cast<std::size_t>(choice)]);
+    // A pinned overlay missing from this sample's row falls back to the
+    // direct path (the pin is unusable, not silently zero).
+    out.push_back(choice < 0 || static_cast<std::size_t>(choice) >= row.size()
+                      ? h.direct[t]
+                      : row[static_cast<std::size_t>(choice)]);
   }
   return out;
 }
@@ -94,7 +107,11 @@ std::vector<double> BanditSelector::achieved(const PairHistory& h) {
   out.reserve(h.times());
 
   auto reward = [&](std::size_t arm, std::size_t t) {
-    return arm == 0 ? h.direct[t] : h.overlay[t][arm - 1];
+    if (arm == 0) return h.direct[t];
+    const auto& row = overlay_row(h, t);
+    // An overlay arm missing from this sample's row plays as the direct
+    // path — same fallback a real client would take.
+    return arm - 1 < row.size() ? row[arm - 1] : h.direct[t];
   };
 
   for (std::size_t t = 0; t < h.times(); ++t) {
@@ -128,15 +145,19 @@ std::vector<double> min_rtt_achieved(const PairHistory& h) {
       out.push_back(h.direct[t]);
       continue;
     }
+    const auto& row = overlay_row(h, t);
     std::size_t pick = 0;  // 0 = direct
     double best_rtt = h.direct_rtt_ms[t];
-    for (std::size_t a = 0; a < h.overlay_rtt_ms[t].size(); ++a) {
+    // Only overlays with both an RTT probe and a throughput sample at t
+    // are eligible — an RTT row can be wider than the throughput row.
+    const std::size_t eligible = std::min(h.overlay_rtt_ms[t].size(), row.size());
+    for (std::size_t a = 0; a < eligible; ++a) {
       if (h.overlay_rtt_ms[t][a] < best_rtt) {
         best_rtt = h.overlay_rtt_ms[t][a];
         pick = a + 1;
       }
     }
-    out.push_back(pick == 0 ? h.direct[t] : h.overlay[t][pick - 1]);
+    out.push_back(pick == 0 ? h.direct[t] : row[pick - 1]);
   }
   return out;
 }
@@ -146,7 +167,7 @@ std::vector<double> mptcp_achieved(const PairHistory& h, double efficiency) {
   out.reserve(h.times());
   for (std::size_t t = 0; t < h.times(); ++t) {
     double best = h.direct[t];
-    for (double v : h.overlay[t]) best = std::max(best, v);
+    for (double v : overlay_row(h, t)) best = std::max(best, v);
     out.push_back(best * efficiency);
   }
   return out;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -17,7 +18,14 @@ struct PairHistory {
   std::vector<std::vector<double>> overlay_rtt_ms;
 
   std::size_t times() const { return direct.size(); }
-  std::size_t overlays() const { return overlay.empty() ? 0 : overlay[0].size(); }
+  /// Widest overlay row. Histories can be ragged (an overlay skipped at
+  /// some samples — e.g. a src/dst collision), so callers treat a missing
+  /// entry as "not measured", not as an index they may dereference.
+  std::size_t overlays() const {
+    std::size_t n = 0;
+    for (const auto& row : overlay) n = std::max(n, row.size());
+    return n;
+  }
 };
 
 /// Minimum number of overlay nodes needed so that, at every sample time,

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/measure_model.h"
+#include "service/path_ranker.h"
+#include "service/probe_scheduler.h"
+#include "service/session_manager.h"
+#include "sim/event_queue.h"
+#include "sim/thread_pool.h"
+#include "sim/time.h"
+#include "topo/internet.h"
+
+namespace cronets::service {
+
+/// All broker knobs in one place (EXPERIMENTS.md documents each).
+struct BrokerConfig {
+  ProbeConfig probe;
+  RankerConfig ranking;
+  /// Per-overlay-VM admission cap; 0 means "use the topology's
+  /// CloudParams::vm_nic_bps" (the Softlayer 100 Mbps NIC).
+  double nic_capacity_bps = 0.0;
+  /// Detection + reroute delay after a route-changing mutation: impacted
+  /// pairs are re-probed and their sessions re-pinned this long after the
+  /// event fires. Keep it at or below probe.interval — that is the
+  /// reaction bound the service advertises.
+  sim::Time failover_delay = sim::Time::seconds(1);
+};
+
+/// Aggregate counters of one broker run. Everything here is a pure
+/// function of (world seed, workload seed, config) — never of thread
+/// count or wall-clock — so the whole struct doubles as a determinism
+/// fingerprint for the control plane.
+struct BrokerStats {
+  std::uint64_t sessions_admitted = 0;
+  std::uint64_t sessions_released = 0;
+  std::uint64_t admitted_via_overlay = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t ranking_flips = 0;   ///< best-path changes (post-hysteresis)
+  std::uint64_t failover_events = 0;
+  std::uint64_t failover_repins = 0;
+  /// Reaction time of the most recent failover (mutation -> repin done).
+  sim::Time last_failover_reaction{0};
+  /// Order-sensitive hash over every admission and migration decision;
+  /// bitwise identical across thread counts for the same seeds.
+  std::uint64_t decision_fingerprint = 0;
+  /// Goodput regret vs. the per-sample oracle, accumulated at probe times:
+  /// sum over probes of (oracle - pinned)/oracle, and the probe count.
+  double regret_sum = 0.0;
+  std::uint64_t regret_samples = 0;
+
+  double mean_regret() const {
+    return regret_samples ? regret_sum / static_cast<double>(regret_samples) : 0.0;
+  }
+};
+
+/// The CRONets overlay broker: an online control plane in simulated time.
+/// A ProbeScheduler refreshes per-pair rankings under a probe budget, a
+/// PathRanker smooths them (EWMA + hysteresis), a SessionManager admits
+/// long-lived sessions against per-overlay NIC capacity and migrates them
+/// on ranking changes, and topology mutations (observed via
+/// topo::Internet's mutation listeners) trigger bounded-time failover.
+///
+/// Determinism: probe sweeps fan out across the thread pool, but samples
+/// are per-pair seeded and applied in pair-index order, and all session
+/// decisions run on the single-threaded event queue — so every decision
+/// is bitwise identical at any thread count.
+class Broker {
+ public:
+  Broker(topo::Internet* topo, const core::ModelMeasurement* meter,
+         sim::ThreadPool* pool, std::vector<int> overlay_eps,
+         BrokerConfig cfg = {});
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Register a (client, server) pair ahead of traffic (idempotent).
+  int register_pair(int src, int dst);
+
+  /// Probe every registered pair once at the current time (parallel) so
+  /// the first admissions see measured rankings instead of the direct
+  /// fallback. Call after registering pairs, before run_until.
+  void warm_up();
+
+  /// Admit a session for a registered pair at the current simulated time.
+  std::uint64_t open_session(int pair_idx, double demand_bps);
+  /// Convenience: register-or-find the pair first (unprobed pairs pin to
+  /// the direct path until their first probe).
+  std::uint64_t open_session(int src, int dst, double demand_bps);
+  void close_session(std::uint64_t id);
+
+  /// Run the control plane (probe ticks, failovers, any caller-scheduled
+  /// events) up to and including simulated time `t`.
+  void run_until(sim::Time t);
+
+  sim::Time now() const { return now_; }
+  sim::EventQueue& queue() { return queue_; }
+  const BrokerStats& stats() const { return stats_; }
+  const PathRanker& ranker() const { return ranker_; }
+  const SessionManager& sessions() const { return sessions_; }
+  const ProbeScheduler& scheduler() const { return scheduler_; }
+  const std::vector<int>& overlay_eps() const { return overlay_eps_; }
+
+  /// Live sessions whose pinned candidate path currently crosses the AS
+  /// adjacency (as_a, as_b) — 0 after a completed failover.
+  int sessions_traversing(int as_a, int as_b) const;
+
+  /// The transit-to-transit AS adjacency carrying the most sessions right
+  /// now (failure-injection helper: both ASes are tier-1/2, so routing
+  /// reconverges around the cut instead of partitioning). Returns false
+  /// if no session crosses any transit adjacency.
+  bool busiest_transit_adjacency(int* as_a, int* as_b) const;
+
+ private:
+  void probe_tick();
+  void measure_pairs(const std::vector<int>& pair_idxs, sim::Time t);
+  void apply_probe(int pair_idx, const core::PairSample& s, sim::Time t,
+                   bool force_repin);
+  void on_mutation(const topo::Mutation& m);
+  void handle_failover();
+  void stamp_decision(std::uint64_t a, std::uint64_t b, std::uint64_t c);
+
+  topo::Internet* topo_;
+  const core::ModelMeasurement* meter_;
+  sim::ThreadPool* pool_;  ///< may be null: fully serial probing
+  std::vector<int> overlay_eps_;
+  BrokerConfig cfg_;
+  sim::EventQueue queue_;
+  sim::Time now_{0};
+  PathRanker ranker_;
+  ProbeScheduler scheduler_;
+  SessionManager sessions_;
+  BrokerStats stats_;
+  int listener_id_ = -1;
+  std::uint64_t route_epoch_ = 0;  ///< bumped per adjacency mutation
+
+  // Pending failover work (mutation seen, repin scheduled).
+  std::vector<int> pending_failover_pairs_;
+  sim::Time pending_failover_since_{-1};
+  bool failover_scheduled_ = false;
+
+  std::vector<int> probe_scratch_;
+  std::vector<core::PairSample> probe_results_;
+};
+
+}  // namespace cronets::service

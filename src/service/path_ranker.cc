@@ -1,0 +1,186 @@
+#include "service/path_ranker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cronets::service {
+
+namespace {
+std::uint64_t pair_key(int src, int dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+}  // namespace
+
+bool path_uses_adjacency(const topo::RouterPath& path, int as_a, int as_b) {
+  for (std::size_t i = 1; i < path.as_seq.size(); ++i) {
+    const int u = path.as_seq[i - 1], v = path.as_seq[i];
+    if ((u == as_a && v == as_b) || (u == as_b && v == as_a)) return true;
+  }
+  return false;
+}
+
+PathRanker::PathRanker(topo::Internet* topo, RankerConfig cfg,
+                       std::vector<int> overlay_eps)
+    : topo_(topo), cfg_(cfg), overlay_eps_(std::move(overlay_eps)) {}
+
+int PathRanker::add_pair(int src, int dst) {
+  const auto [it, inserted] =
+      index_.emplace(pair_key(src, dst), static_cast<int>(pairs_.size()));
+  if (!inserted) return it->second;
+  PairState p;
+  p.src = src;
+  p.dst = dst;
+  build_candidates(&p);
+  pairs_.push_back(std::move(p));
+  return it->second;
+}
+
+int PathRanker::find_pair(int src, int dst) const {
+  const auto it = index_.find(pair_key(src, dst));
+  return it == index_.end() ? -1 : it->second;
+}
+
+void PathRanker::build_candidates(PairState* p) const {
+  p->candidates.clear();
+  Candidate direct;
+  direct.kind = core::PathKind::kDirect;
+  direct.path = topo_->cached_path(p->src, p->dst);
+  p->candidates.push_back(std::move(direct));
+  for (int o : overlay_eps_) {
+    if (o == p->src || o == p->dst) continue;
+    Candidate c;
+    c.kind = core::PathKind::kSplitOverlay;
+    c.overlay_ep = o;
+    c.path = topo_->cached_path(p->src, o);
+    c.leg2 = topo_->cached_path(o, p->dst);
+    p->candidates.push_back(std::move(c));
+  }
+  p->best = 0;
+}
+
+bool PathRanker::apply_sample(int idx, const core::PairSample& s, sim::Time t) {
+  PairState& p = pairs_[static_cast<std::size_t>(idx)];
+  assert(s.src == p.src && s.dst == p.dst);
+
+  // Raw per-candidate values of this probe ([0] = direct, then overlays in
+  // candidate order; overlays matched by endpoint id, so a skipped overlay
+  // — src/dst collision — simply keeps its old score).
+  const int prev_best = p.best;
+  double pinned_raw = -1.0;
+  double oracle_raw = 0.0;
+  double direct_raw = 0.0;
+  for (std::size_t ci = 0; ci < p.candidates.size(); ++ci) {
+    Candidate& c = p.candidates[ci];
+    double raw = -1.0;
+    if (c.kind == core::PathKind::kDirect) {
+      raw = s.direct_bps;
+    } else {
+      for (const auto& o : s.overlays) {
+        if (o.overlay_ep == c.overlay_ep) {
+          raw = o.split_bps;
+          break;
+        }
+      }
+    }
+    if (raw < 0.0) continue;  // not measured this probe
+    // Unreachable candidate (no policy route, or a leg crosses a failed
+    // adjacency): the flow model samples such paths as if they were empty
+    // and returns a meaningless huge number, so clamp to zero here.
+    if ((c.path && !c.path->valid) || (c.leg2 && !c.leg2->valid)) raw = 0.0;
+    if (c.kind == core::PathKind::kDirect) direct_raw = raw;
+    c.last_bps = raw;
+    c.score_bps = c.measured
+                      ? cfg_.ewma_alpha * raw + (1.0 - cfg_.ewma_alpha) * c.score_bps
+                      : raw;
+    c.measured = true;
+    c.down = false;  // freshly measured on the current route
+    oracle_raw = std::max(oracle_raw, raw);
+    if (static_cast<int>(ci) == prev_best) pinned_raw = raw;
+  }
+  p.last_probe = t;
+  ++p.probes;
+  p.last_oracle_bps = oracle_raw;
+  p.last_pinned_bps = pinned_raw >= 0.0 ? pinned_raw : 0.0;
+
+  if (cfg_.record_history) {
+    p.history.direct.push_back(direct_raw);
+    std::vector<double> row;
+    row.reserve(p.candidates.size() - 1);
+    for (std::size_t ci = 1; ci < p.candidates.size(); ++ci) {
+      row.push_back(p.candidates[ci].last_bps);
+    }
+    p.history.overlay.push_back(std::move(row));
+    p.achieved_bps.push_back(p.last_pinned_bps);
+  }
+
+  // Re-rank: the challenger must clear the hysteresis margin over the
+  // incumbent's smoothed score (unless the incumbent is down/unreachable).
+  int challenger = p.best;
+  double best_score = -1.0;
+  for (std::size_t ci = 0; ci < p.candidates.size(); ++ci) {
+    const Candidate& c = p.candidates[ci];
+    if (c.down || !c.measured) continue;
+    if (c.score_bps > best_score) {
+      best_score = c.score_bps;
+      challenger = static_cast<int>(ci);
+    }
+  }
+  const Candidate& inc = p.candidates[static_cast<std::size_t>(p.best)];
+  const bool incumbent_usable = !inc.down && inc.measured;
+  if (challenger != p.best &&
+      (!incumbent_usable ||
+       best_score > inc.score_bps * (1.0 + cfg_.hysteresis))) {
+    p.best = challenger;
+  }
+  return p.best != prev_best;
+}
+
+void PathRanker::refresh_paths(int idx) {
+  PairState& p = pairs_[static_cast<std::size_t>(idx)];
+  for (Candidate& c : p.candidates) {
+    if (c.kind == core::PathKind::kDirect) {
+      c.path = topo_->cached_path(p.src, p.dst);
+    } else {
+      c.path = topo_->cached_path(p.src, c.overlay_ep);
+      c.leg2 = topo_->cached_path(c.overlay_ep, p.dst);
+    }
+    c.down = false;
+  }
+}
+
+void PathRanker::mark_adjacency_down(int as_a, int as_b,
+                                     std::vector<int>* affected) {
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    PairState& p = pairs_[i];
+    bool hit = false;
+    for (Candidate& c : p.candidates) {
+      const bool uses =
+          (c.path && path_uses_adjacency(*c.path, as_a, as_b)) ||
+          (c.leg2 && path_uses_adjacency(*c.leg2, as_a, as_b));
+      if (uses) {
+        c.down = true;
+        hit = true;
+      }
+    }
+    if (hit && affected) affected->push_back(static_cast<int>(i));
+  }
+}
+
+void PathRanker::ranked_order(int idx, std::vector<int>* out) const {
+  const PairState& p = pairs_[static_cast<std::size_t>(idx)];
+  out->clear();
+  for (int ci = 0; ci < static_cast<int>(p.candidates.size()); ++ci) {
+    if (ci != p.best) out->push_back(ci);
+  }
+  std::sort(out->begin(), out->end(), [&](int a, int b) {
+    const Candidate& ca = p.candidates[static_cast<std::size_t>(a)];
+    const Candidate& cb = p.candidates[static_cast<std::size_t>(b)];
+    if (ca.down != cb.down) return !ca.down;  // down candidates last
+    if (ca.score_bps != cb.score_bps) return ca.score_bps > cb.score_bps;
+    return a < b;
+  });
+  out->insert(out->begin(), p.best);
+}
+
+}  // namespace cronets::service

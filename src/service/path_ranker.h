@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/measure_model.h"
+#include "core/overlay.h"
+#include "core/selection.h"
+#include "sim/time.h"
+#include "topo/internet.h"
+
+namespace cronets::service {
+
+/// Smoothing and stability knobs of the per-pair path tables.
+struct RankerConfig {
+  /// EWMA weight of a fresh probe sample (1 = no smoothing). Smoothing is
+  /// what keeps rankings from flapping on per-probe measurement noise —
+  /// the delay-based-routing lesson: raw probe-driven selection oscillates.
+  double ewma_alpha = 0.3;
+  /// A challenger must beat the incumbent best path's smoothed score by
+  /// this relative margin before the pair switches (and sessions migrate).
+  double hysteresis = 0.10;
+  /// Record every probe into a core::PairHistory per pair (direct +
+  /// per-overlay split samples plus the score the pinned path achieved),
+  /// so regret and the core/selection baselines can be computed offline.
+  bool record_history = true;
+};
+
+/// One candidate route of a (src, dst) pair: the direct policy path, or a
+/// split-TCP relay through one overlay VM.
+struct Candidate {
+  core::PathKind kind = core::PathKind::kDirect;
+  int overlay_ep = -1;        ///< kSplitOverlay only
+  double score_bps = 0.0;     ///< EWMA-smoothed predicted throughput
+  double last_bps = 0.0;      ///< most recent raw probe sample
+  bool measured = false;      ///< at least one probe applied
+  bool down = false;          ///< traverses a failed adjacency (await repin)
+  topo::PathRef path;         ///< direct path, or leg src -> overlay
+  topo::PathRef leg2;         ///< kSplitOverlay: overlay -> dst
+};
+
+/// Ranked path table of one (src, dst) pair, plus the broker bookkeeping
+/// that rides along with it (pinned sessions, probe staleness, history).
+struct PairState {
+  int src = -1;
+  int dst = -1;
+  std::vector<Candidate> candidates;  ///< [0] = direct, then overlays
+  int best = 0;                       ///< hysteresis-stable current choice
+  sim::Time last_probe{-1};           ///< negative: never probed
+  std::uint64_t probes = 0;
+  std::uint64_t route_epoch = 0;      ///< broker: epoch candidates were built at
+  /// Session slots currently pinned to this pair (owned by SessionManager;
+  /// order = admission order, with swap-removal on release).
+  std::vector<std::uint32_t> sessions;
+  /// Probe log for offline analysis (RankerConfig::record_history).
+  core::PairHistory history;
+  std::vector<double> achieved_bps;  ///< pinned path's raw sample per probe
+  /// Regret inputs of the latest applied sample, both clamped to 0 on
+  /// unreachable candidates: the best raw value any candidate scored, and
+  /// what the path pinned *before* the sample was applied scored.
+  double last_oracle_bps = 0.0;
+  double last_pinned_bps = 0.0;
+};
+
+/// Does this router-level path cross the AS adjacency (as_a, as_b) in
+/// either direction?
+bool path_uses_adjacency(const topo::RouterPath& path, int as_a, int as_b);
+
+/// Per-pair ranked path tables: direct vs. split-overlay candidates scored
+/// by smoothed predicted throughput, backed by interned topo::PathCache
+/// PathRefs. The ranker itself is passive — the ProbeScheduler decides when
+/// a pair is re-measured, the Broker feeds samples in via `apply_sample`.
+class PathRanker {
+ public:
+  PathRanker(topo::Internet* topo, RankerConfig cfg,
+             std::vector<int> overlay_eps);
+
+  /// Register (or find) the pair. Candidate paths are interned on first
+  /// registration; scores start unmeasured (the direct path ranks first
+  /// until probed).
+  int add_pair(int src, int dst);
+  int find_pair(int src, int dst) const;  ///< -1 if unknown
+
+  std::size_t size() const { return pairs_.size(); }
+  const PairState& pair(int idx) const { return pairs_[idx]; }
+  PairState& pair(int idx) { return pairs_[idx]; }
+  const std::vector<int>& overlay_eps() const { return overlay_eps_; }
+  const RankerConfig& config() const { return cfg_; }
+
+  /// Fold a fresh measurement into the pair's smoothed scores and re-rank
+  /// with hysteresis. Returns true when the best candidate changed (the
+  /// caller migrates sessions). Also logs regret inputs when recording.
+  bool apply_sample(int idx, const core::PairSample& s, sim::Time t);
+
+  /// Re-intern every candidate path of the pair (after a route-changing
+  /// mutation) and clear `down` flags. Smoothed scores survive — the
+  /// endpoints didn't move, only the route did — and the next probe
+  /// corrects them.
+  void refresh_paths(int idx);
+
+  /// Append the indices of pairs with any candidate whose current interned
+  /// path crosses the AS adjacency (as_a, as_b); marks those candidates
+  /// `down` so no new session pins to them before the failover repin.
+  void mark_adjacency_down(int as_a, int as_b, std::vector<int>* affected);
+
+  /// Candidate order for admission: current best first, then the remaining
+  /// candidates by descending smoothed score (down candidates last).
+  /// Writes indices into `out` (sized to candidates.size()).
+  void ranked_order(int idx, std::vector<int>* out) const;
+
+ private:
+  void build_candidates(PairState* p) const;
+
+  topo::Internet* topo_;
+  RankerConfig cfg_;
+  std::vector<int> overlay_eps_;
+  std::vector<PairState> pairs_;
+  std::unordered_map<std::uint64_t, int> index_;  // (src,dst) -> pair idx
+};
+
+}  // namespace cronets::service

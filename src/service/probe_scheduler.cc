@@ -1,0 +1,27 @@
+#include "service/probe_scheduler.h"
+
+#include <algorithm>
+
+namespace cronets::service {
+
+void ProbeScheduler::select(const PathRanker& ranker, sim::Time now,
+                            std::vector<int>* out) {
+  due_.clear();
+  for (int i = 0; i < static_cast<int>(ranker.size()); ++i) {
+    const PairState& p = ranker.pair(i);
+    const bool never = p.last_probe.ns() < 0;
+    if (never || now - p.last_probe >= cfg_.interval) {
+      due_.emplace_back(never ? std::int64_t{-1} : p.last_probe.ns(), i);
+    }
+  }
+  std::sort(due_.begin(), due_.end());
+  std::size_t take = due_.size();
+  if (cfg_.budget_per_tick > 0) {
+    take = std::min(take, static_cast<std::size_t>(cfg_.budget_per_tick));
+  }
+  for (std::size_t k = 0; k < take; ++k) out->push_back(due_[k].second);
+  selected_ += take;
+  backlog_ = due_.size() - take;
+}
+
+}  // namespace cronets::service

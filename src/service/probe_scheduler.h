@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/path_ranker.h"
+#include "sim/time.h"
+
+namespace cronets::service {
+
+/// Probe-budget knobs: how often a pair's ranking is refreshed and how
+/// much measurement the broker may spend per scheduler tick.
+struct ProbeConfig {
+  /// Target staleness: a pair becomes due once its last probe is at least
+  /// this old (also the bound on failover reaction time — see Broker).
+  sim::Time interval = sim::Time::seconds(10);
+  /// Scheduler cadence. Each tick selects due pairs and measures them.
+  sim::Time tick = sim::Time::seconds(1);
+  /// Max pair probes per tick (0 = unlimited). The budget is the paper's
+  /// probe-overhead lever: tightening it trades ranking freshness (and
+  /// goodput regret) for measurement traffic.
+  int budget_per_tick = 256;
+};
+
+/// Decides which pairs to probe at each tick: pairs whose ranking is stale
+/// (older than `interval`, or never measured) are selected most-stale
+/// first until the budget is spent. Selection is a pure function of the
+/// rankers' probe timestamps, so it is deterministic at any thread count.
+class ProbeScheduler {
+ public:
+  explicit ProbeScheduler(ProbeConfig cfg) : cfg_(cfg) {}
+
+  const ProbeConfig& config() const { return cfg_; }
+
+  /// Append up to budget due pair indices to `out`, most-stale first
+  /// (ties broken by pair index).
+  void select(const PathRanker& ranker, sim::Time now, std::vector<int>* out);
+
+  /// Pairs currently overdue (due but beyond this tick's budget) — the
+  /// scheduler's staleness backlog, reported by the bench.
+  std::uint64_t backlog() const { return backlog_; }
+  std::uint64_t selected() const { return selected_; }
+
+ private:
+  ProbeConfig cfg_;
+  std::uint64_t backlog_ = 0;
+  std::uint64_t selected_ = 0;
+  std::vector<std::pair<std::int64_t, int>> due_;  // (last_probe ns, idx)
+};
+
+}  // namespace cronets::service

@@ -1,0 +1,150 @@
+#include "service/session_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cronets::service {
+
+SessionManager::SessionManager(AdmissionConfig cfg,
+                               const std::vector<int>& overlay_eps)
+    : cfg_(cfg) {
+  for (int ep : overlay_eps) {
+    overlay_slot_.emplace(ep, static_cast<int>(used_bps_.size()));
+    used_bps_.push_back(0.0);
+  }
+}
+
+double SessionManager::overlay_used_bps(int overlay_ep) const {
+  const auto it = overlay_slot_.find(overlay_ep);
+  return it == overlay_slot_.end() ? 0.0
+                                   : used_bps_[static_cast<std::size_t>(it->second)];
+}
+
+void SessionManager::reserve(const Candidate& c, double demand_bps) {
+  if (c.kind != core::PathKind::kSplitOverlay) return;
+  const auto it = overlay_slot_.find(c.overlay_ep);
+  assert(it != overlay_slot_.end());
+  double& used = used_bps_[static_cast<std::size_t>(it->second)];
+  used += demand_bps;
+  peak_used_bps_ = std::max(peak_used_bps_, used);
+}
+
+void SessionManager::unreserve(const Candidate& c, double demand_bps) {
+  if (c.kind != core::PathKind::kSplitOverlay) return;
+  const auto it = overlay_slot_.find(c.overlay_ep);
+  assert(it != overlay_slot_.end());
+  used_bps_[static_cast<std::size_t>(it->second)] -= demand_bps;
+}
+
+int SessionManager::pick_candidate(PathRanker& ranker, int pair_idx,
+                                   double demand_bps) {
+  ranker.ranked_order(pair_idx, &order_scratch_);
+  const PairState& p = ranker.pair(pair_idx);
+  int direct_fallback = 0;
+  bool denied = false;
+  for (int ci : order_scratch_) {
+    const Candidate& c = p.candidates[static_cast<std::size_t>(ci)];
+    if (c.kind == core::PathKind::kDirect) {
+      direct_fallback = ci;
+      if (!c.down) {
+        if (denied) ++overlay_denied_;
+        return ci;
+      }
+      continue;  // direct is down: prefer a live overlay, fall back below
+    }
+    if (c.down) continue;
+    const auto it = overlay_slot_.find(c.overlay_ep);
+    const double used =
+        it == overlay_slot_.end() ? 0.0
+                                  : used_bps_[static_cast<std::size_t>(it->second)];
+    if (used + demand_bps <= cfg_.nic_capacity_bps) {
+      if (denied) ++overlay_denied_;
+      return ci;
+    }
+    denied = true;
+  }
+  // Everything down or full: pin to the direct path anyway — it is the
+  // default Internet route, which needs no broker resources.
+  if (denied) ++overlay_denied_;
+  return direct_fallback;
+}
+
+std::uint64_t SessionManager::admit(PathRanker& ranker, int pair_idx,
+                                    double demand_bps, sim::Time now) {
+  const int ci = pick_candidate(ranker, pair_idx, demand_bps);
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Session& s = slots_[slot];
+  s.pair = pair_idx;
+  s.candidate = ci;
+  s.demand_bps = demand_bps;
+  s.admitted = now;
+  s.gen |= 1u;  // odd: live
+  PairState& p = ranker.pair(pair_idx);
+  s.pos_in_pair = static_cast<std::uint32_t>(p.sessions.size());
+  p.sessions.push_back(slot);
+  reserve(p.candidates[static_cast<std::size_t>(ci)], demand_bps);
+  ++active_;
+  return id_of(slot);
+}
+
+bool SessionManager::live(std::uint64_t id) const {
+  const std::uint32_t slot = slot_of(id);
+  return slot < slots_.size() && slots_[slot].gen == gen_of(id) &&
+         (slots_[slot].gen & 1u);
+}
+
+const Session& SessionManager::session(std::uint64_t id) const {
+  assert(live(id));
+  return slots_[slot_of(id)];
+}
+
+void SessionManager::detach_from_pair(PairState& p, Session& s) {
+  const std::uint32_t pos = s.pos_in_pair;
+  assert(pos < p.sessions.size());
+  const std::uint32_t last = p.sessions.back();
+  p.sessions[pos] = last;
+  slots_[last].pos_in_pair = pos;
+  p.sessions.pop_back();
+}
+
+bool SessionManager::release(PathRanker& ranker, std::uint64_t id) {
+  if (!live(id)) return false;
+  Session& s = slots_[slot_of(id)];
+  PairState& p = ranker.pair(s.pair);
+  unreserve(p.candidates[static_cast<std::size_t>(s.candidate)], s.demand_bps);
+  detach_from_pair(p, s);
+  ++s.gen;  // even: free
+  free_.push_back(slot_of(id));
+  --active_;
+  return true;
+}
+
+int SessionManager::repin_pair(PathRanker& ranker, int pair_idx) {
+  PairState& p = ranker.pair(pair_idx);
+  int migrated = 0;
+  // Deterministic session order (admission order with swap-removals); the
+  // target choice re-runs full admission per session so capacity freed by
+  // one move is visible to the next.
+  for (std::uint32_t slot : p.sessions) {
+    Session& s = slots_[slot];
+    const Candidate& cur = p.candidates[static_cast<std::size_t>(s.candidate)];
+    if (s.candidate == p.best && !cur.down) continue;
+    unreserve(cur, s.demand_bps);
+    const int target = pick_candidate(ranker, pair_idx, s.demand_bps);
+    reserve(p.candidates[static_cast<std::size_t>(target)], s.demand_bps);
+    if (target != s.candidate) {
+      s.candidate = target;
+      ++migrated;
+    }
+  }
+  return migrated;
+}
+
+}  // namespace cronets::service

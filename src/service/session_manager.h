@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "service/path_ranker.h"
+#include "sim/time.h"
+
+namespace cronets::service {
+
+/// Admission-control knobs. The per-overlay cap is the Softlayer 100 Mbps
+/// virtual NIC (CloudParams::vm_nic_bps): a split-overlay session reserves
+/// its demand on the relay VM's NIC, and a full NIC pushes new sessions to
+/// the next-ranked candidate (ultimately the direct path, which consumes
+/// no rented resources and always admits).
+struct AdmissionConfig {
+  double nic_capacity_bps = 100e6;
+};
+
+/// One long-lived client session pinned to a candidate path of its pair.
+struct Session {
+  int pair = -1;
+  int candidate = 0;          ///< index into PairState::candidates
+  double demand_bps = 0.0;
+  sim::Time admitted{};
+  std::uint32_t pos_in_pair = 0;  ///< index into PairState::sessions
+  std::uint32_t gen = 0;          ///< odd while live (slot reuse guard)
+};
+
+/// Session table + per-overlay-node NIC accounting. Sessions live in a
+/// slot arena (ids are (generation, slot) pairs) so the 10^5..10^6-session
+/// workloads run without per-session allocation or hashing on the hot
+/// admission path.
+class SessionManager {
+ public:
+  SessionManager(AdmissionConfig cfg, const std::vector<int>& overlay_eps);
+
+  static constexpr std::uint64_t kInvalidSession = 0;
+
+  /// Admit a session onto the best admissible candidate of its pair
+  /// (ranked order, skipping down candidates and full overlay NICs; the
+  /// direct path is the unconditional fallback). Returns the session id.
+  std::uint64_t admit(PathRanker& ranker, int pair_idx, double demand_bps,
+                      sim::Time now);
+
+  /// Release a live session (false if the id is stale).
+  bool release(PathRanker& ranker, std::uint64_t id);
+
+  /// Re-pin the pair's sessions onto its current best candidate, subject
+  /// to NIC capacity and hysteresis having already been applied by the
+  /// ranker (sessions only move when their candidate differs from best or
+  /// is down). Returns the number of migrated sessions.
+  int repin_pair(PathRanker& ranker, int pair_idx);
+
+  bool live(std::uint64_t id) const;
+  const Session& session(std::uint64_t id) const;
+  std::size_t active() const { return active_; }
+
+  /// Current reserved bandwidth on one overlay VM's NIC (0 for unknown).
+  double overlay_used_bps(int overlay_ep) const;
+  /// Highest reservation ever observed on any overlay NIC (capacity
+  /// invariant: never exceeds the cap).
+  double peak_overlay_used_bps() const { return peak_used_bps_; }
+  const AdmissionConfig& config() const { return cfg_; }
+
+  /// Number of admissions/migrations that wanted an overlay candidate but
+  /// were pushed to a lower-ranked path by a full NIC.
+  std::uint64_t overlay_denied() const { return overlay_denied_; }
+
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      if (slots_[slot].gen & 1u) fn(id_of(slot), slots_[slot]);
+    }
+  }
+
+ private:
+  std::uint64_t id_of(std::uint32_t slot) const {
+    return (static_cast<std::uint64_t>(slots_[slot].gen) << 32) | (slot + 1);
+  }
+  static std::uint32_t slot_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  static std::uint32_t gen_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// First admissible candidate in ranked order for `demand`.
+  int pick_candidate(PathRanker& ranker, int pair_idx, double demand_bps);
+  void reserve(const Candidate& c, double demand_bps);
+  void unreserve(const Candidate& c, double demand_bps);
+  void detach_from_pair(PairState& p, Session& s);
+
+  AdmissionConfig cfg_;
+  std::unordered_map<int, int> overlay_slot_;  // overlay ep -> used_ index
+  std::vector<double> used_bps_;
+  double peak_used_bps_ = 0.0;
+  std::vector<Session> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t active_ = 0;
+  std::uint64_t overlay_denied_ = 0;
+  std::vector<int> order_scratch_;  // ranked_order output, reused per admit
+};
+
+}  // namespace cronets::service

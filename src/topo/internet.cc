@@ -19,6 +19,46 @@ Internet::Internet(const TopologyParams& params, const CloudParams& cloud)
     : params_(params), cloud_(cloud), rng_(params.seed) {
   generate(params);
   build_cloud(cloud);
+  // The interned-path cache invalidates itself through the observer
+  // mechanism like any other consumer of route-changing mutations. It is
+  // registered first, so every later listener's path queries already see
+  // the post-mutation routes.
+  add_mutation_listener([this](const Mutation& m) {
+    if (m.kind == Mutation::Kind::kAdjacencyChange) path_cache_.invalidate();
+  });
+}
+
+void Internet::add_event(const LinkEvent& ev) {
+  events_.push_back(ev);
+  ++mutation_epoch_;  // derived per-path caches must recompute event lists
+  Mutation m;
+  m.kind = Mutation::Kind::kTransientEvent;
+  m.epoch = mutation_epoch_;
+  m.event = ev;
+  notify_mutation(m);
+}
+
+int Internet::add_mutation_listener(MutationListener listener) {
+  const int id = next_listener_id_++;
+  mutation_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Internet::remove_mutation_listener(int id) {
+  for (auto it = mutation_listeners_.begin(); it != mutation_listeners_.end();
+       ++it) {
+    if (it->first == id) {
+      mutation_listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void Internet::notify_mutation(const Mutation& m) {
+  for (const auto& [id, listener] : mutation_listeners_) {
+    (void)id;
+    listener(m);
+  }
 }
 
 int Internet::new_as(Tier tier, Region region, GeoPoint pos, const std::string& name,
@@ -385,8 +425,16 @@ bool Internet::set_adjacency_up(int as_a, int as_b, bool up) {
   }
   if (found) {
     routing_.invalidate();
-    path_cache_.invalidate();  // interned paths may route differently now
     ++mutation_epoch_;
+    // Interned paths may route differently now; the PathCache drops them
+    // through its own mutation listener (registered first in the ctor).
+    Mutation m;
+    m.kind = Mutation::Kind::kAdjacencyChange;
+    m.epoch = mutation_epoch_;
+    m.as_a = as_a;
+    m.as_b = as_b;
+    m.up = up;
+    notify_mutation(m);
   }
   return found;
 }

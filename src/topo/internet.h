@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -152,6 +153,26 @@ struct LinkEvent {
   double util_boost = 0.0;
 };
 
+/// One post-construction topology mutation, as delivered to registered
+/// mutation observers. Two kinds exist today: transient link-level
+/// congestion episodes (`add_event`) and BGP adjacency failures/restores
+/// (`set_adjacency_up`). Observers receive the details synchronously, after
+/// the mutation has been applied and `mutation_epoch` bumped, so they can
+/// invalidate derived state eagerly instead of polling the epoch.
+struct Mutation {
+  enum class Kind {
+    kTransientEvent,   ///< add_event: utilization boost on one link direction
+    kAdjacencyChange,  ///< set_adjacency_up: routes may differ now
+  };
+  Kind kind = Kind::kTransientEvent;
+  std::uint64_t epoch = 0;  ///< mutation_epoch() after this mutation
+
+  LinkEvent event{};        ///< kTransientEvent only
+  int as_a = -1;            ///< kAdjacencyChange only
+  int as_b = -1;
+  bool up = true;
+};
+
 /// The generated Internet: AS graph, router-level expansion, cloud
 /// provider, endpoints, and policy-path queries. This object is the "map";
 /// the analytic flow model and the packet-level materializer both consume
@@ -198,11 +219,19 @@ class Internet {
   RouterPath backbone_path(int dc_ep_a, int dc_ep_b);
 
   // --- dynamics -------------------------------------------------------
-  void add_event(const LinkEvent& ev) {
-    events_.push_back(ev);
-    ++mutation_epoch_;  // derived per-path caches must recompute event lists
-  }
+  void add_event(const LinkEvent& ev);
   const std::vector<LinkEvent>& events() const { return events_; }
+
+  /// Mutation observers: registered callbacks fire synchronously on every
+  /// post-construction mutation (`add_event`, `set_adjacency_up`), after
+  /// the mutation has been applied. This replaces polling `mutation_epoch`
+  /// for consumers that must react promptly (control planes, caches).
+  /// Listeners run in registration order; the PathCache registers first so
+  /// later listeners always see post-invalidation route queries. Like the
+  /// mutations themselves, registration is single-threaded.
+  using MutationListener = std::function<void(const Mutation&)>;
+  int add_mutation_listener(MutationListener listener);
+  void remove_mutation_listener(int id);
 
   /// Monotonic counter bumped by every post-construction mutation that can
   /// change path-derived quantities (transient events, BGP failures).
@@ -253,8 +282,12 @@ class Internet {
   std::vector<int> backbone_links_;  // DC mesh link ids (i*n+j indexing)
   std::unordered_map<Region, std::vector<int>> stubs_by_region_;
   std::unordered_map<Region, int> next_stub_in_region_;
+  void notify_mutation(const Mutation& m);
+
   std::vector<LinkEvent> events_;
   std::uint64_t mutation_epoch_ = 0;
+  std::vector<std::pair<int, MutationListener>> mutation_listeners_;
+  int next_listener_id_ = 0;
   Routing routing_{&ases_};
   PathCache path_cache_{this};
 };

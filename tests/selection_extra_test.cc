@@ -84,5 +84,100 @@ TEST(MinRtt, RttIsTheWrongMetricWhenLossDominates) {
   EXPECT_LT(rtt_sum, best_sum * 0.2);
 }
 
+// --- Edge cases: empty, single-sample, and ragged histories --------------
+// These shapes all occur in practice (a pair never probed, probed once,
+// or with an overlay skipped at some samples due to a src/dst collision);
+// every policy must degrade gracefully instead of indexing out of bounds.
+
+TEST(SelectionEdge, EmptyHistoryEveryPolicy) {
+  PairHistory h;
+  EXPECT_EQ(h.times(), 0u);
+  EXPECT_EQ(h.overlays(), 0u);
+  EXPECT_EQ(min_overlays_required(h), 0);
+  EXPECT_EQ(best_subset_avg_bps(h, 1), 0.0);
+  EXPECT_TRUE(ProbeSelector(3).achieved(h).empty());
+  EXPECT_TRUE(BanditSelector(0.1, 7).achieved(h).empty());
+  EXPECT_TRUE(min_rtt_achieved(h).empty());
+  EXPECT_TRUE(mptcp_achieved(h).empty());
+}
+
+TEST(SelectionEdge, DirectOnlyHistoryNoOverlayRows) {
+  // `direct` populated but no overlay rows at all: every selector should
+  // ride the direct path.
+  PairHistory h;
+  h.direct = {4.0, 5.0, 6.0};
+  EXPECT_EQ(h.overlays(), 0u);
+  EXPECT_EQ(min_overlays_required(h), 0);
+  EXPECT_EQ(best_subset_avg_bps(h, 2), 0.0);
+  EXPECT_EQ(ProbeSelector(1).achieved(h), h.direct);
+  EXPECT_EQ(BanditSelector(0.5, 1).achieved(h), h.direct);
+  const auto m = mptcp_achieved(h, 1.0);
+  EXPECT_EQ(m, h.direct);
+}
+
+TEST(SelectionEdge, SingleSampleHistory) {
+  PairHistory h;
+  h.direct = {2.0};
+  h.overlay = {{7.0, 3.0}};
+  EXPECT_EQ(min_overlays_required(h), 1);
+  EXPECT_DOUBLE_EQ(best_subset_avg_bps(h, 1), 7.0);
+  EXPECT_EQ(ProbeSelector(5).achieved(h), std::vector<double>{7.0});
+  EXPECT_EQ(BanditSelector(0.0, 9).achieved(h).size(), 1u);
+  EXPECT_EQ(mptcp_achieved(h, 1.0), std::vector<double>{7.0});
+}
+
+TEST(SelectionEdge, RaggedRowsUseWidestAndFallBack) {
+  // Overlay 1 only appears at t=0; at t=1 the row is narrower.
+  PairHistory h;
+  h.direct = {1.0, 1.0, 1.0};
+  h.overlay = {{5.0, 9.0}, {5.0}, {5.0, 9.0}};
+  EXPECT_EQ(h.overlays(), 2u);
+  // ProbeSelector probing every sample pins overlay 1 at t=0, falls back
+  // to direct at t=1 (pin missing from the row), re-pins at t=2.
+  const auto got = ProbeSelector(1).achieved(h);
+  EXPECT_EQ(got, (std::vector<double>{9.0, 5.0, 9.0}));
+  // Bandit never indexes past a short row.
+  const auto bandit = BanditSelector(0.5, 13).achieved(h);
+  EXPECT_EQ(bandit.size(), 3u);
+  // Subset metrics treat the missing entry as absent, not as zero-crash.
+  EXPECT_GT(best_subset_avg_bps(h, 2), 0.0);
+  EXPECT_GE(min_overlays_required(h), 1);
+}
+
+TEST(SelectionEdge, OverlayRowsShorterThanDirect) {
+  // History where probing stopped recording overlay rows mid-stream.
+  PairHistory h;
+  h.direct = {3.0, 4.0, 5.0};
+  h.overlay = {{8.0}};
+  const auto probe = ProbeSelector(1).achieved(h);
+  EXPECT_EQ(probe, (std::vector<double>{8.0, 4.0, 5.0}));
+  const auto m = mptcp_achieved(h, 1.0);
+  EXPECT_EQ(m, (std::vector<double>{8.0, 4.0, 5.0}));
+  EXPECT_EQ(BanditSelector(0.2, 5).achieved(h).size(), 3u);
+}
+
+TEST(SelectionEdge, BestSubsetClampsOversizedK) {
+  PairHistory h;
+  h.direct = {1.0, 1.0};
+  h.overlay = {{2.0, 6.0}, {4.0, 2.0}};
+  std::vector<int> chosen;
+  // k larger than the overlay count clamps to "all overlays".
+  EXPECT_DOUBLE_EQ(best_subset_avg_bps(h, 99, &chosen), 5.0);
+  EXPECT_EQ(chosen, (std::vector<int>{0, 1}));
+  EXPECT_EQ(best_subset_avg_bps(h, 0, &chosen), 0.0);
+  EXPECT_TRUE(chosen.empty());
+}
+
+TEST(SelectionEdge, MinRttRowWiderThanThroughputRow) {
+  // RTT view knows two overlays but only one has a throughput sample:
+  // the RTT-only overlay must not be picked (no throughput to index).
+  PairHistory h;
+  h.direct = {10.0};
+  h.overlay = {{20.0}};
+  h.direct_rtt_ms = {100.0};
+  h.overlay_rtt_ms = {{80.0, 5.0}};  // overlay 1: tempting RTT, no sample
+  EXPECT_EQ(min_rtt_achieved(h), std::vector<double>{20.0});
+}
+
 }  // namespace
 }  // namespace cronets::core
