@@ -7,7 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_util.h"
+#include "model/batch_sampler.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "topo/internet.h"
@@ -177,6 +180,84 @@ BENCHMARK(BM_EndToEndMeasure)->Unit(benchmark::kMillisecond);
 
 namespace {
 
+// The paths one probe sweep touches (direct + both legs per overlay), the
+// working set for the sampling-kernel benchmarks below.
+std::vector<topo::PathRef> sweep_paths(wkld::World& world,
+                                       const std::vector<int>& servers,
+                                       const std::vector<int>& clients,
+                                       const std::vector<int>& overlays) {
+  std::vector<topo::PathRef> paths;
+  for (int s : servers) {
+    for (int c : clients) {
+      paths.push_back(world.internet().cached_path(s, c));
+      for (int o : overlays) {
+        paths.push_back(world.internet().cached_path(s, o));
+        paths.push_back(world.internet().cached_path(o, c));
+      }
+    }
+  }
+  return paths;
+}
+
+}  // namespace
+
+// Scalar sampling kernel: per-path FlowModel::sample through the memoized
+// aggregates, the pre-batching hot path. Items processed = path samples.
+static void BM_ScalarSample(benchmark::State& state) {
+  wkld::World world(bench::world_seed());
+  const auto clients = world.make_web_clients(8);
+  const auto servers = world.make_servers();
+  const auto overlays = world.rent_paper_overlays();
+  const auto paths = sweep_paths(world, servers, clients, overlays);
+  long n = 0;
+  int rep = 0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    const sim::Time at = sim::Time::hours(1) + sim::Time::minutes(1 + rep % 59);
+    ++rep;
+    for (const auto& p : paths) sink += world.flow().sample(p, at).rtt_ms;
+    n += static_cast<long>(paths.size());
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_ScalarSample)->Unit(benchmark::kMicrosecond);
+
+// Batched SoA sampling kernel over the same working set, at batch sizes
+// 1/16/256. Shared link fields are evaluated once per (field, t) within a
+// batch, so throughput grows with batch size until the dedup saturates.
+static void BM_BatchSample(benchmark::State& state) {
+  wkld::World world(bench::world_seed());
+  const auto clients = world.make_web_clients(8);
+  const auto servers = world.make_servers();
+  const auto overlays = world.rent_paper_overlays();
+  const auto paths = sweep_paths(world, servers, clients, overlays);
+
+  model::BatchSampler sampler(&world.flow());
+  sampler.begin_batch();
+  std::vector<int> handles;
+  for (const auto& p : paths) handles.push_back(sampler.intern(p));
+  std::vector<model::PathMetrics> out(handles.size());
+
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  long n = 0;
+  int rep = 0;
+  for (auto _ : state) {
+    const sim::Time at = sim::Time::hours(1) + sim::Time::minutes(1 + rep % 59);
+    ++rep;
+    for (std::size_t lo = 0; lo < handles.size(); lo += batch) {
+      const std::size_t len = std::min(batch, handles.size() - lo);
+      sampler.sample_batch(handles.data() + lo, len, at, out.data() + lo);
+    }
+    n += static_cast<long>(handles.size());
+  }
+  benchmark::DoNotOptimize(out.data());
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_BatchSample)->Arg(1)->Arg(16)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+namespace {
+
 // Deterministic event-queue exercise: interleaved schedule/cancel with slot
 // reuse across rounds; returns 1 iff exactly the non-cancelled callbacks
 // fired, in timestamp-then-FIFO order.
@@ -243,6 +324,127 @@ int main(int argc, char** argv) {
   const std::uint64_t sweep_hits = cache.hits() - hits0;
   const std::uint64_t sweep_misses = cache.misses() - misses0;
 
+  // --- scalar vs batched sampling kernel ---------------------------------
+  // The same sweep's path set through both samplers, single-threaded: the
+  // scalar side is per-path FlowModel::sample (memoized aggregates + field
+  // memo), the batched side one SoA sample_batch over pre-interned handles.
+  // Rates are pair sweeps per second (11 paths per pair: direct plus two
+  // legs for each of five overlays). These are the headline
+  // scalar_pairs_per_s / batch_pairs_per_s extras CI tracks; the full
+  // measure() comparison below also pays the per-pair stochastic draws,
+  // which are bitwise-pinned and identical on both sides, so it lands in
+  // separate measure_* extras.
+  using clock = std::chrono::steady_clock;
+  const auto kpaths = sweep_paths(world, servers, clients, overlays);
+  const int kSampleReps = 40;
+
+  double kernel_sink = 0.0;
+  const auto sample_scalar_t0 = clock::now();
+  for (int rep = 0; rep < kSampleReps; ++rep) {
+    const sim::Time at = sim::Time::hours(3) + sim::Time::minutes(rep);
+    for (const auto& p : kpaths) kernel_sink += world.flow().sample(p, at).rtt_ms;
+  }
+  const double sample_scalar_s =
+      std::chrono::duration<double>(clock::now() - sample_scalar_t0).count();
+
+  model::BatchSampler ksampler(&world.flow());
+  ksampler.begin_batch();
+  std::vector<int> khandles;
+  for (const auto& p : kpaths) khandles.push_back(ksampler.intern(p));
+  std::vector<model::PathMetrics> kout(khandles.size());
+  const auto sample_batch_t0 = clock::now();
+  for (int rep = 0; rep < kSampleReps; ++rep) {
+    const sim::Time at = sim::Time::hours(3) + sim::Time::minutes(rep);
+    ksampler.sample_batch(khandles.data(), khandles.size(), at, kout.data());
+    kernel_sink += kout[0].rtt_ms;
+  }
+  const double sample_batch_s =
+      std::chrono::duration<double>(clock::now() - sample_batch_t0).count();
+
+  const double paths_per_pair =
+      1.0 + 2.0 * static_cast<double>(overlays.size());
+  const double sample_pair_sweeps = static_cast<double>(kpaths.size()) *
+                                    kSampleReps / paths_per_pair;
+  run.add_extra("scalar_pairs_per_s",
+                sample_scalar_s > 0 ? sample_pair_sweeps / sample_scalar_s : 0.0);
+  run.add_extra("batch_pairs_per_s",
+                sample_batch_s > 0 ? sample_pair_sweeps / sample_batch_s : 0.0);
+  run.add_extra("batch_speedup",
+                sample_batch_s > 0 ? sample_scalar_s / sample_batch_s : 0.0);
+
+  // --- scalar vs batched end-to-end measure() ----------------------------
+  // Same pair sweep through measure() and measure_batch(). Both entry
+  // points pay the identical per-pair draw sequence (mt19937_64 seeding +
+  // lognormal noise), so this ratio is much smaller than the kernel one.
+  std::vector<std::pair<int, int>> pairs;
+  for (int s : servers)
+    for (int c : clients) pairs.emplace_back(s, c);
+  std::vector<core::PairSample> batched(pairs.size());
+  const int kKernelReps = 10;
+
+  const auto scalar_t0 = clock::now();
+  for (int rep = 0; rep < kKernelReps; ++rep) {
+    const sim::Time at = sim::Time::hours(2) + sim::Time::minutes(rep);
+    for (const auto& [s, c] : pairs) {
+      kernel_sink += world.meter().measure(s, c, overlays, at).direct_bps;
+    }
+  }
+  const double scalar_s = std::chrono::duration<double>(clock::now() - scalar_t0).count();
+
+  const auto batch_t0 = clock::now();
+  for (int rep = 0; rep < kKernelReps; ++rep) {
+    const sim::Time at = sim::Time::hours(2) + sim::Time::minutes(rep);
+    world.meter().measure_batch(pairs.data(), pairs.size(), overlays, at,
+                                batched.data());
+    kernel_sink += batched[0].direct_bps;
+  }
+  const double batch_s = std::chrono::duration<double>(clock::now() - batch_t0).count();
+  const double kernel_pairs = static_cast<double>(pairs.size()) * kKernelReps;
+  run.add_extra("measure_scalar_pairs_per_s",
+                scalar_s > 0 ? kernel_pairs / scalar_s : 0.0);
+  run.add_extra("measure_batch_pairs_per_s",
+                batch_s > 0 ? kernel_pairs / batch_s : 0.0);
+  run.add_extra("measure_speedup", batch_s > 0 ? scalar_s / batch_s : 0.0);
+
+  // Batched == scalar, bit for bit: every field of every PairSample, across
+  // batch sizes (1, a ragged 13, all) and several timestamps.
+  int batch_eq_scalar = 1;
+  const auto same_sample = [](const core::PairSample& a, const core::PairSample& b) {
+    if (a.direct_bps != b.direct_bps || a.direct_rtt_ms != b.direct_rtt_ms ||
+        a.direct_loss != b.direct_loss || a.direct_hops != b.direct_hops ||
+        a.overlays.size() != b.overlays.size()) {
+      return false;
+    }
+    for (std::size_t o = 0; o < a.overlays.size(); ++o) {
+      if (a.overlays[o].plain_bps != b.overlays[o].plain_bps ||
+          a.overlays[o].split_bps != b.overlays[o].split_bps ||
+          a.overlays[o].discrete_bps != b.overlays[o].discrete_bps ||
+          a.overlays[o].rtt_ms != b.overlays[o].rtt_ms ||
+          a.overlays[o].loss != b.overlays[o].loss) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (const sim::Time at : {sim::Time::hours(1) + sim::Time::minutes(3),
+                             sim::Time::hours(25) + sim::Time::seconds(17)}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{13}, pairs.size()}) {
+      for (std::size_t lo = 0; lo < pairs.size(); lo += batch) {
+        const std::size_t len = std::min(batch, pairs.size() - lo);
+        world.meter().measure_batch(pairs.data() + lo, len, overlays, at,
+                                    batched.data() + lo);
+      }
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (!same_sample(batched[i], world.meter().measure(pairs[i].first,
+                                                           pairs[i].second,
+                                                           overlays, at))) {
+          batch_eq_scalar = 0;
+        }
+      }
+    }
+  }
+  benchmark::DoNotOptimize(kernel_sink);
+
   // Fast-path aggregates must reproduce the generic sampler bit for bit.
   int fast_eq_generic = 1;
   for (int s : servers) {
@@ -269,6 +471,8 @@ int main(int argc, char** argv) {
        cache.size() == cache.misses() ? 1.0 : 0.0},
       {"micro: fast sample == generic sample (1=yes)", 1.0,
        static_cast<double>(fast_eq_generic)},
+      {"micro: batch sample == scalar sample (1=yes)", 1.0,
+       static_cast<double>(batch_eq_scalar)},
       {"micro: event-queue churn order+count ok (1=yes)", 1.0,
        static_cast<double>(event_queue_ok())},
   });

@@ -1,11 +1,13 @@
 // Overlay-broker scale bench: drives the src/service/ control plane with
 // the session-churn workload (Poisson arrivals, Pareto durations) at
-// 10^5-scale concurrency, injects a transit-adjacency failure mid-run, and
-// reports admission rate, path-decision latency (wall-clock and ranking
-// staleness), probe overhead, failover reaction, and goodput regret vs.
-// the per-sample oracle. `--smoke` shrinks everything for CI; the
-// CRONETS_SERVICE_TARGET env var overrides the concurrency target (e.g.
-// 1000000 for the million-session configuration).
+// million-session concurrency, injects a transit-adjacency failure
+// mid-run, and reports admission rate, path-decision latency (wall-clock
+// and ranking staleness), probe overhead, failover reaction, and goodput
+// regret vs. the per-sample oracle. Probe sweeps run through the batched
+// SoA measurement kernel (CRONETS_BATCH), which is what lets the default
+// target sit at 10^6 concurrent sessions. `--smoke` shrinks everything
+// for CI; the CRONETS_SERVICE_TARGET env var overrides the concurrency
+// target.
 //
 // JSON: all `checks` rows are a pure function of the seed (the decision
 // fingerprint row is the cross-thread determinism witness); wall-clock
@@ -54,7 +56,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
 
-  double target = smoke ? 5'000 : 120'000;
+  double target = smoke ? 5'000 : 1'000'000;
   if (const char* t = std::getenv("CRONETS_SERVICE_TARGET")) {
     target = std::strtod(t, nullptr);
   }

@@ -36,6 +36,20 @@ struct PairSample {
   int best_split_overlay_ep() const;
 };
 
+/// One work item of a batched probe sweep: measure (src, dst) against
+/// `*overlays` (which must outlive the measure_batch call).
+struct ProbeRequest {
+  int src = -1;
+  int dst = -1;
+  const std::vector<int>* overlays = nullptr;
+};
+
+/// Batch size used by the batched probe consumers (broker probe sweeps,
+/// figure sweeps): the CRONETS_BATCH environment variable, default 64,
+/// clamped to >= 1. Read once and cached. A pure performance knob — every
+/// batch size produces bitwise-identical samples.
+int probe_batch_size();
+
 /// Analytic measurement runner: the instrument used for the paper-scale
 /// sweeps (6,600 paths x several path types). All throughputs come from
 /// the calibrated flow model over the same generated Internet the packet
@@ -54,9 +68,28 @@ class ModelMeasurement {
       : topo_(topo), flow_(flow), seed_(seed) {}
 
   /// Measure (src,dst) against every overlay node at simulated time `t`.
-  /// Thread-safe: const, and all randomness is per-call.
+  /// Thread-safe: const, and all randomness is per-call. This is the
+  /// scalar reference path; the batched overloads below are bitwise
+  /// identical to it.
   PairSample measure(int src_ep, int dst_ep, const std::vector<int>& overlay_eps,
                      sim::Time t) const;
+
+  /// Batched measurement through the SoA kernel (model::BatchSampler):
+  /// writes reqs[i]'s sample into out[i]. Link fields shared by any paths
+  /// in the batch are evaluated once, and all deterministic PFTK
+  /// evaluations run as one flat loop; per-pair noise still comes from the
+  /// (seed, src, dst, t) stream, so out[i] is bitwise identical to
+  /// measure(reqs[i]...) at every batch size. Thread-safe: each thread
+  /// keeps its own sampler and scratch (reused across calls, so warm
+  /// batches allocate nothing — out[i].overlays storage is reused too).
+  void measure_batch(const ProbeRequest* reqs, std::size_t n, sim::Time t,
+                     PairSample* out) const;
+
+  /// Convenience batch: every pairs[i] = (src, dst) measured against the
+  /// same overlay set.
+  void measure_batch(const std::pair<int, int>* pairs, std::size_t n,
+                     const std::vector<int>& overlay_eps, sim::Time t,
+                     PairSample* out) const;
 
  private:
   topo::Internet* topo_;

@@ -1,0 +1,185 @@
+#include "model/batch_sampler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/hash_rng.h"
+
+namespace cronets::model {
+
+namespace {
+// utilization() caps the AR(1) truncation horizon at 64 (see FlowModel);
+// the innovation scratch below relies on that bound.
+constexpr int kMaxHorizon = 64;
+}  // namespace
+
+void BatchSampler::reset() {
+  path_index_.clear();
+  path_ref_.clear();
+  path_base_rtt_ms_.clear();
+  path_min_capacity_bps_.clear();
+  path_hops_.clear();
+  path_slot_begin_.clear();
+  path_slot_begin_.push_back(0);
+  slot_field_.clear();
+  field_index_.clear();
+  f_stream_.clear();
+  f_epoch_ns_.clear();
+  f_a_.clear();
+  f_horizon_.clear();
+  f_stationary_sd_.clear();
+  f_sqrt_w2_.clear();
+  f_delay_ms_.clear();
+  f_pkt_ms_.clear();
+  f_capacity_bps_.clear();
+  f_bg_.clear();
+  f_has_diurnal_.clear();
+  f_event_begin_.clear();
+  events_.clear();
+  used_.clear();
+  mark_.clear();
+  stamp_ = 0;
+}
+
+bool BatchSampler::begin_batch() {
+  const std::uint64_t epoch = topo_->mutation_epoch();
+  if (epoch == epoch_) return false;
+  reset();
+  epoch_ = epoch;
+  return true;
+}
+
+std::uint32_t BatchSampler::intern_field(const FlowModel::LinkField& f) {
+  const auto [it, inserted] =
+      field_index_.emplace(f.stream, static_cast<std::uint32_t>(f_stream_.size()));
+  if (!inserted) return it->second;
+  assert(f.horizon <= kMaxHorizon);
+  f_stream_.push_back(f.stream);
+  f_epoch_ns_.push_back(f.epoch_ns);
+  f_a_.push_back(f.a);
+  f_horizon_.push_back(f.horizon);
+  f_stationary_sd_.push_back(f.stationary_sd);
+  f_sqrt_w2_.push_back(f.sqrt_w2);
+  f_delay_ms_.push_back(f.delay_ms);
+  f_pkt_ms_.push_back(f.pkt_ms);
+  f_capacity_bps_.push_back(f.capacity_bps);
+  f_bg_.push_back(f.bg);
+  f_has_diurnal_.push_back(f.has_diurnal ? 1 : 0);
+  if (f_event_begin_.empty()) f_event_begin_.push_back(0);
+  events_.insert(events_.end(), f.events.begin(), f.events.end());
+  f_event_begin_.push_back(static_cast<std::uint32_t>(events_.size()));
+  return it->second;
+}
+
+int BatchSampler::intern(const topo::PathRef& path) {
+  const auto it = path_index_.find(path.get());
+  if (it != path_index_.end()) return it->second;
+  // Reuse the model's memoized aggregates: the SoA store is a repack of
+  // exactly the constants the scalar fast path consumes.
+  const auto agg = flow_->aggregates(path);
+  const int handle = static_cast<int>(path_ref_.size());
+  path_ref_.push_back(path);
+  path_base_rtt_ms_.push_back(agg->base_rtt_ms);
+  path_min_capacity_bps_.push_back(agg->min_capacity_bps);
+  path_hops_.push_back(agg->hop_count);
+  for (const FlowModel::LinkField& f : agg->links) {
+    slot_field_.push_back(intern_field(f));
+  }
+  path_slot_begin_.push_back(static_cast<std::uint32_t>(slot_field_.size()));
+  path_index_.emplace(path.get(), handle);
+  return handle;
+}
+
+void BatchSampler::sample_batch(const int* handles, std::size_t n, sim::Time t,
+                                PathMetrics* out) {
+  // Pass 1: the unique link fields this batch touches, in first-touch
+  // order. A field crossed by many paths is collected (and later
+  // evaluated) exactly once.
+  mark_.resize(f_stream_.size(), 0);
+  if (++stamp_ == 0) {  // stamp wrapped: invalidate every mark
+    std::fill(mark_.begin(), mark_.end(), 0);
+    stamp_ = 1;
+  }
+  used_.clear();
+  std::uint64_t traversals = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto h = static_cast<std::size_t>(handles[i]);
+    for (std::uint32_t k = path_slot_begin_[h]; k < path_slot_begin_[h + 1]; ++k) {
+      const std::uint32_t fi = slot_field_[k];
+      ++traversals;
+      if (mark_[fi] != stamp_) {
+        mark_[fi] = stamp_;
+        used_.push_back(fi);
+      }
+    }
+  }
+  dedup_saved_ += traversals - used_.size();
+
+  // Pass 2: evaluate each used field once. The innovation prefill below is
+  // the hot loop — pure integer hashing plus a uint->double conversion with
+  // no loop-carried dependency, so it auto-vectorizes; the weighted sum
+  // stays scalar to keep the accumulation order (and bits) of the scalar
+  // sampler. Derived per-field quantities (loss complement, queueing delay,
+  // residual) are also computed once here instead of once per traversal.
+  u_.resize(f_stream_.size());
+  one_minus_loss_.resize(f_stream_.size());
+  queue_ms_.resize(f_stream_.size());
+  residual_bps_.resize(f_stream_.size());
+  for (const std::uint32_t fi : used_) {
+    const std::int64_t epoch_n = t.ns() / f_epoch_ns_[fi];
+    const std::uint64_t stream = f_stream_[fi];
+    const int horizon = f_horizon_[fi];
+    std::uint64_t keys[kMaxHorizon];
+    double innov[kMaxHorizon];
+    for (int j = 0; j < horizon; ++j) {
+      keys[j] = sim::hash_combine(stream, static_cast<std::uint64_t>(epoch_n - j));
+    }
+    for (int j = 0; j < horizon; ++j) {
+      innov[j] = sim::hash_centered(keys[j]);
+    }
+    double acc = 0.0, w = 1.0;
+    const double a = f_a_[fi];
+    for (int j = 0; j < horizon; ++j) {
+      acc += w * innov[j];
+      w *= a;
+    }
+    double u = f_bg_[fi].mean_util + acc * f_stationary_sd_[fi] / f_sqrt_w2_[fi];
+    u = std::clamp(u, 0.0, 0.98);
+    double total = f_has_diurnal_[fi] ? u + net::diurnal_component(f_bg_[fi], t) : u;
+    for (std::uint32_t e = f_event_begin_[fi]; e < f_event_begin_[fi + 1]; ++e) {
+      const topo::LinkEvent& ev = events_[e];
+      if (t >= ev.from && t < ev.until) total += ev.util_boost;
+    }
+    total = std::clamp(total, 0.0, 0.98);
+    u_[fi] = total;
+    one_minus_loss_[fi] = 1.0 - net::loss_from_utilization(f_bg_[fi], total);
+    // Light cross-traffic queueing (M/M/1-ish, negligible except when hot).
+    queue_ms_[fi] =
+        std::min(5.0, total / std::max(0.02, 1.0 - total) * f_pkt_ms_[fi]);
+    residual_bps_[fi] = f_capacity_bps_[fi] * (1.0 - total);
+  }
+
+  // Pass 3: per-path accumulation over precomputed per-field values, in
+  // the scalar sampler's link order and operation shape.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto h = static_cast<std::size_t>(handles[i]);
+    PathMetrics m;
+    m.capacity_bps = path_min_capacity_bps_[h];
+    m.residual_bps = 1e18;
+    double survive = 1.0;
+    double oneway_ms = 0.0;
+    for (std::uint32_t k = path_slot_begin_[h]; k < path_slot_begin_[h + 1]; ++k) {
+      const std::uint32_t fi = slot_field_[k];
+      survive *= one_minus_loss_[fi];
+      oneway_ms += f_delay_ms_[fi];
+      oneway_ms += queue_ms_[fi];
+      m.residual_bps = std::min(m.residual_bps, residual_bps_[fi]);
+    }
+    m.loss = 1.0 - survive;
+    m.rtt_ms = 2.0 * oneway_ms;
+    m.hop_count = path_hops_[h];
+    out[i] = m;
+  }
+}
+
+}  // namespace cronets::model

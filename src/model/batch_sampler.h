@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/flow_model.h"
+#include "sim/time.h"
+#include "topo/internet.h"
+
+namespace cronets::model {
+
+/// Batch-oriented, SIMD-friendly path sampler: a structure-of-arrays repack
+/// of FlowModel::PathAggregates. Interned paths become dense handles whose
+/// link-field constants (AR(1) parameters, base RTTs, delays, capacities)
+/// live in contiguous arrays, and `sample_batch` evaluates a whole batch of
+/// paths at one timestamp with
+///
+///  1. *deduplicated* link-field evaluation — each (link direction, t) is
+///     computed exactly once per batch no matter how many paths cross it
+///     (core links shared by many overlay legs are the common case), and
+///  2. branch-light flat loops over the SoA store that the compiler can
+///     auto-vectorize (the hash-indexed AR(1) innovations in particular).
+///
+/// Results are bitwise identical to FlowModel::sample(PathRef, t) at every
+/// batch size — enforced by tests/batch_sampler_test.cc and the
+/// bench_micro "batch sample == scalar sample" check. Unlike the scalar
+/// fast path, no per-sample lock, hash-map memo probe, or shared_ptr
+/// refcount is touched: a warm batch is pure arithmetic over dense arrays.
+///
+/// Thread-safety: none — a BatchSampler is a per-thread object (the batched
+/// measurement consumers keep one per worker thread). Interning pins the
+/// underlying RouterPath via the stored PathRef; `begin_batch` revalidates
+/// against the topology mutation epoch and resets the store (invalidating
+/// all handles) when the world has mutated, so callers re-intern their
+/// paths at the start of every batch.
+class BatchSampler {
+ public:
+  explicit BatchSampler(const FlowModel* flow)
+      : flow_(flow),
+        topo_(flow->topo()),
+        epoch_(flow->topo()->mutation_epoch()) {
+    path_slot_begin_.push_back(0);
+  }
+
+  /// Revalidate against the topology mutation epoch. Returns true if the
+  /// store was reset (every previously returned handle is now invalid).
+  bool begin_batch();
+
+  /// Dense handle of `path`, interning its aggregates into the SoA store on
+  /// first use. Valid until the next store reset (see begin_batch).
+  int intern(const topo::PathRef& path);
+
+  /// Metrics of handles[i] at time `t` into out[i]. Bitwise identical to
+  /// FlowModel::sample(handle's path, t) for every element.
+  void sample_batch(const int* handles, std::size_t n, sim::Time t,
+                    PathMetrics* out);
+
+  std::size_t paths() const { return path_ref_.size(); }
+  std::size_t unique_fields() const { return f_stream_.size(); }
+  /// Link-field evaluations saved by within-batch dedup since construction:
+  /// (total path-link traversals sampled) - (unique fields evaluated).
+  std::uint64_t dedup_saved() const { return dedup_saved_; }
+
+  double path_base_rtt_ms(int handle) const {
+    return path_base_rtt_ms_[static_cast<std::size_t>(handle)];
+  }
+  double path_min_capacity_bps(int handle) const {
+    return path_min_capacity_bps_[static_cast<std::size_t>(handle)];
+  }
+
+ private:
+  std::uint32_t intern_field(const FlowModel::LinkField& f);
+  void reset();
+
+  const FlowModel* flow_;
+  const topo::Internet* topo_;
+  std::uint64_t epoch_;
+
+  // --- interned paths (SoA; the PathRef pins the keying pointer alive) ---
+  std::unordered_map<const topo::RouterPath*, int> path_index_;
+  std::vector<topo::PathRef> path_ref_;
+  std::vector<double> path_base_rtt_ms_;
+  std::vector<double> path_min_capacity_bps_;
+  std::vector<int> path_hops_;
+  std::vector<std::uint32_t> path_slot_begin_;  ///< size paths+1 (prefix sums)
+  std::vector<std::uint32_t> slot_field_;       ///< per traversal: field index
+
+  // --- unique link-direction fields (SoA, deduplicated by stream id) ---
+  std::unordered_map<std::uint64_t, std::uint32_t> field_index_;
+  std::vector<std::uint64_t> f_stream_;
+  std::vector<std::int64_t> f_epoch_ns_;
+  std::vector<double> f_a_;
+  std::vector<int> f_horizon_;
+  std::vector<double> f_stationary_sd_;
+  std::vector<double> f_sqrt_w2_;
+  std::vector<double> f_delay_ms_;
+  std::vector<double> f_pkt_ms_;
+  std::vector<double> f_capacity_bps_;
+  std::vector<net::BackgroundParams> f_bg_;  ///< loss + diurnal parameters
+  std::vector<std::uint8_t> f_has_diurnal_;
+  std::vector<std::uint32_t> f_event_begin_;  ///< size fields+1 into events_
+  std::vector<topo::LinkEvent> events_;
+
+  // --- per-batch scratch (persistent so warm batches do not allocate) ---
+  std::vector<std::uint32_t> used_;  ///< unique fields touched, first-touch order
+  std::vector<std::uint32_t> mark_;  ///< per-field batch stamp
+  std::uint32_t stamp_ = 0;
+  std::vector<double> u_;            ///< per-field utilization at t
+  std::vector<double> one_minus_loss_;
+  std::vector<double> queue_ms_;
+  std::vector<double> residual_bps_;
+  std::uint64_t dedup_saved_ = 0;
+};
+
+}  // namespace cronets::model

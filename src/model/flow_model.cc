@@ -57,6 +57,31 @@ double pftk_throughput_bps(double rtt_ms, double loss, double residual_bps,
   return 8.0 * std::min({loss_bound_Bps, wnd_bound_Bps, cap_Bps});
 }
 
+void pftk_throughput_batch(std::size_t n, const double* rtt_ms,
+                           const double* loss, const double* residual_bps,
+                           const double* capacity_bps, const double* rwnd_bytes,
+                           const TcpModelParams& p, double* out_bps) {
+  // Element-wise mirror of pftk_throughput_bps with the rwnd override
+  // applied per element; every expression keeps the scalar shape so the
+  // results are bitwise identical.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rtt = std::max(rtt_ms[i] / 1e3, 1e-4);
+    double loss_bound_Bps = 1e18;
+    if (loss[i] > 1e-9) {
+      const double bp = p.b * loss[i];
+      const double t0 = std::max(0.2, 2.0 * rtt);  // RTO estimate
+      const double denom =
+          rtt * std::sqrt(2.0 * bp / 3.0) +
+          t0 * std::min(1.0, 3.0 * std::sqrt(3.0 * bp / 8.0)) * loss[i] *
+              (1.0 + 32.0 * loss[i] * loss[i]);
+      loss_bound_Bps = p.aggressiveness * p.mss / denom;
+    }
+    const double wnd_bound_Bps = rwnd_bytes[i] / rtt;
+    const double cap_Bps = std::min(residual_bps[i], capacity_bps[i]) / 8.0;
+    out_bps[i] = 8.0 * std::min({loss_bound_Bps, wnd_bound_Bps, cap_Bps});
+  }
+}
+
 double FlowModel::utilization(int link_id, bool forward, Time t) const {
   const auto& link = topo_->links()[link_id];
   const net::BackgroundParams& bg = forward ? link.bg_fwd : link.bg_rev;

@@ -40,6 +40,16 @@ struct TcpModelParams {
 double pftk_throughput_bps(double rtt_ms, double loss, double residual_bps,
                            double capacity_bps, const TcpModelParams& p);
 
+/// Flat-loop PFTK over parallel arrays: out_bps[i] is bitwise identical to
+/// pftk_throughput_bps(rtt_ms[i], ..., p') where p' is `p` with rwnd_bytes
+/// replaced by rwnd_bytes[i]. The batched measurement path hoists every
+/// deterministic throughput evaluation of a probe batch into one call so
+/// the compiler sees a branch-light loop over contiguous inputs.
+void pftk_throughput_batch(std::size_t n, const double* rtt_ms,
+                           const double* loss, const double* residual_bps,
+                           const double* capacity_bps, const double* rwnd_bytes,
+                           const TcpModelParams& p, double* out_bps);
+
 /// Analytic "measurement instrument": evaluates per-link utilizations as a
 /// stateless hash-indexed random field (stationary AR(1) statistics — the
 /// same process the packet-level BackgroundProcess integrates), derives
@@ -150,6 +160,11 @@ class FlowModel {
   }
 
   std::uint64_t seed() const { return seed_; }
+  topo::Internet* topo() const { return topo_; }
+  /// Process-unique instance tag (see detail::next_flow_model_tag): lets
+  /// thread-local caches keyed on it (field memo, batch samplers) detect a
+  /// different model even if one is reallocated at the same address.
+  std::uint64_t instance_tag() const { return model_tag_; }
   const TcpModelParams& params() const { return params_; }
   TcpModelParams& params() { return params_; }
 

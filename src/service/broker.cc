@@ -37,6 +37,10 @@ Broker::Broker(topo::Internet* topo, const core::ModelMeasurement* meter,
                 overlay_eps_) {
   assert(cfg_.failover_delay <= cfg_.probe.interval &&
          "failover reaction must stay within one probe interval");
+  if (cfg_.probe.budget_per_tick > 0) {
+    probe_results_.reserve(static_cast<std::size_t>(cfg_.probe.budget_per_tick));
+    probe_scratch_.reserve(static_cast<std::size_t>(cfg_.probe.budget_per_tick));
+  }
   listener_id_ = topo_->add_mutation_listener(
       [this](const topo::Mutation& m) { on_mutation(m); });
   queue_.schedule(now_ + cfg_.probe.tick, [this] { probe_tick(); });
@@ -49,6 +53,15 @@ Broker::~Broker() {
 int Broker::register_pair(int src, int dst) {
   const int idx = ranker_.add_pair(src, dst);
   ranker_.pair(idx).route_epoch = route_epoch_;
+  // Registration (setup phase) is the only place the probe buffers may
+  // grow: any later sweep — budgeted tick, warm-up, failover — measures at
+  // most ranker_.size() pairs, so steady state never reallocates.
+  if (ranker_.size() > probe_results_.capacity()) {
+    const std::size_t want =
+        std::max(ranker_.size(), 2 * probe_results_.capacity());
+    probe_results_.reserve(want);
+    probe_scratch_.reserve(want);
+  }
   return idx;
 }
 
@@ -96,17 +109,35 @@ void Broker::run_until(sim::Time t) {
 }
 
 void Broker::measure_pairs(const std::vector<int>& pair_idxs, sim::Time t) {
-  probe_results_.resize(pair_idxs.size());
+  assert(pair_idxs.size() <= probe_results_.capacity() &&
+         "probe buffers reserved at registration must cover every sweep");
+  // Grow-only resize: steady-state sweeps stay within capacity (no
+  // reallocation) and reuse each PairSample's overlay storage in place.
+  if (probe_results_.size() < pair_idxs.size()) {
+    probe_results_.resize(pair_idxs.size());
+  }
   // Per-pair seeding makes each measurement a pure function of
-  // (seed, src, dst, t): the fan-out below is a performance knob only.
-  const auto measure_one = [&](std::size_t i) {
-    const PairState& p = ranker_.pair(pair_idxs[i]);
-    probe_results_[i] = meter_->measure(p.src, p.dst, overlay_eps_, t);
+  // (seed, src, dst, t): the batched fan-out below — fixed-size chunks
+  // through the SoA batch kernel, distributed across the pool — is a
+  // performance knob only.
+  const std::size_t batch = static_cast<std::size_t>(core::probe_batch_size());
+  const std::size_t chunks = (pair_idxs.size() + batch - 1) / batch;
+  const auto measure_chunk = [&](std::size_t c) {
+    thread_local std::vector<std::pair<int, int>> pairs;
+    pairs.clear();
+    const std::size_t lo = c * batch;
+    const std::size_t hi = std::min(pair_idxs.size(), lo + batch);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const PairState& p = ranker_.pair(pair_idxs[i]);
+      pairs.emplace_back(p.src, p.dst);
+    }
+    meter_->measure_batch(pairs.data(), pairs.size(), overlay_eps_, t,
+                          probe_results_.data() + lo);
   };
-  if (pool_ != nullptr && pair_idxs.size() >= 8) {
-    pool_->parallel_for(pair_idxs.size(), measure_one);
+  if (pool_ != nullptr && pair_idxs.size() >= 8 && chunks > 1) {
+    pool_->parallel_for(chunks, measure_chunk);
   } else {
-    for (std::size_t i = 0; i < pair_idxs.size(); ++i) measure_one(i);
+    for (std::size_t c = 0; c < chunks; ++c) measure_chunk(c);
   }
 }
 

@@ -64,10 +64,13 @@ struct BrokerStats {
 /// on ranking changes, and topology mutations (observed via
 /// topo::Internet's mutation listeners) trigger bounded-time failover.
 ///
-/// Determinism: probe sweeps fan out across the thread pool, but samples
-/// are per-pair seeded and applied in pair-index order, and all session
-/// decisions run on the single-threaded event queue — so every decision
-/// is bitwise identical at any thread count.
+/// Determinism: probe sweeps fan out across the thread pool in fixed-size
+/// batches (CRONETS_BATCH) measured through the SoA batch kernel
+/// (core::ModelMeasurement::measure_batch — bitwise identical to the
+/// scalar meter at every batch size), samples are per-pair seeded and
+/// applied in pair-index order, and all session decisions run on the
+/// single-threaded event queue — so every decision is bitwise identical at
+/// any thread count and batch size.
 class Broker {
  public:
   Broker(topo::Internet* topo, const core::ModelMeasurement* meter,
@@ -143,6 +146,11 @@ class Broker {
   sim::Time pending_failover_since_{-1};
   bool failover_scheduled_ = false;
 
+  // Probe buffers: reserved at construction from the scheduler budget and
+  // grown (geometrically) only by register_pair, so steady-state probe
+  // ticks never reallocate — measure_pairs asserts every sweep fits the
+  // reserved capacity. probe_results_ only ever grows in size; element
+  // PairSamples keep their overlay storage across sweeps.
   std::vector<int> probe_scratch_;
   std::vector<core::PairSample> probe_results_;
 };

@@ -11,16 +11,25 @@ WebExperiment run_web_experiment(World& world, int num_clients, sim::Time at) {
   exp.servers = world.make_servers();
   exp.overlays = world.rent_paper_overlays();
 
-  // Fan the (server, client) pairs out across the measurement pool. Each
-  // pair's noise is seeded from (world seed, src, dst, t), so the sample
-  // vector is bitwise identical at any thread count.
+  // Fan the (server, client) pairs out across the measurement pool in
+  // fixed-size batches through the SoA batch kernel. Each pair's noise is
+  // seeded from (world seed, src, dst, t), so the sample vector is bitwise
+  // identical at any thread count and batch size.
   const std::size_t per_server = exp.clients.size();
   exp.samples.resize(exp.servers.size() * per_server);
-  world.pool().parallel_for(exp.samples.size(), [&](std::size_t i) {
-    const int server = exp.servers[i / per_server];
-    const int client = exp.clients[i % per_server];
-    // The server is the TCP sender (file download to the client).
-    exp.samples[i] = world.meter().measure(server, client, exp.overlays, at);
+  const std::size_t batch = static_cast<std::size_t>(core::probe_batch_size());
+  const std::size_t chunks = (exp.samples.size() + batch - 1) / batch;
+  world.pool().parallel_for(chunks, [&](std::size_t c) {
+    thread_local std::vector<std::pair<int, int>> pairs;
+    pairs.clear();
+    const std::size_t lo = c * batch;
+    const std::size_t hi = std::min(exp.samples.size(), lo + batch);
+    for (std::size_t i = lo; i < hi; ++i) {
+      // The server is the TCP sender (file download to the client).
+      pairs.emplace_back(exp.servers[i / per_server], exp.clients[i % per_server]);
+    }
+    world.meter().measure_batch(pairs.data(), pairs.size(), exp.overlays, at,
+                                exp.samples.data() + lo);
   });
   return exp;
 }
@@ -40,15 +49,28 @@ ControlledExperiment run_controlled_experiment_on(World& world,
 
   const std::size_t per_client = exp.overlays.size();
   exp.samples.resize(exp.clients.size() * per_client);
-  world.pool().parallel_for(exp.samples.size(), [&](std::size_t i) {
-    const int client = exp.clients[i / per_client];
-    const int sender = exp.overlays[i % per_client];
-    // The other four DCs act as overlay nodes for this measurement.
-    std::vector<int> relays;
+  // Per-sender relay sets, built once: the other four DCs act as overlay
+  // nodes for each measurement.
+  std::vector<std::vector<int>> relays(per_client);
+  for (std::size_t s = 0; s < per_client; ++s) {
     for (int o : exp.overlays) {
-      if (o != sender) relays.push_back(o);
+      if (o != exp.overlays[s]) relays[s].push_back(o);
     }
-    exp.samples[i] = world.meter().measure(sender, client, relays, at);
+  }
+  const std::size_t batch = static_cast<std::size_t>(core::probe_batch_size());
+  const std::size_t chunks = (exp.samples.size() + batch - 1) / batch;
+  world.pool().parallel_for(chunks, [&](std::size_t c) {
+    thread_local std::vector<core::ProbeRequest> reqs;
+    reqs.clear();
+    const std::size_t lo = c * batch;
+    const std::size_t hi = std::min(exp.samples.size(), lo + batch);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t s = i % per_client;
+      reqs.push_back(core::ProbeRequest{exp.overlays[s],
+                                        exp.clients[i / per_client], &relays[s]});
+    }
+    world.meter().measure_batch(reqs.data(), reqs.size(), at,
+                                exp.samples.data() + lo);
   });
   return exp;
 }
@@ -151,9 +173,14 @@ LongitudinalStudy run_longitudinal_study(World& world,
     std::vector<int> relays;
     for (const auto& o : ranked[i].s->overlays) relays.push_back(o.overlay_ep);
 
+    // Single-request batches through the SoA kernel: even a one-pair batch
+    // dedups the link fields its nine paths share and skips the scalar
+    // path's per-sample memo probes.
+    core::PairSample s;
+    const core::ProbeRequest req{pair.src, pair.dst, &relays};
     for (int t = 0; t < num_samples; ++t) {
       const sim::Time at = start + interval * t;
-      const core::PairSample s = world.meter().measure(pair.src, pair.dst, relays, at);
+      world.meter().measure_batch(&req, 1, at, &s);
       pair.history.direct.push_back(s.direct_bps);
       pair.history.direct_rtt_ms.push_back(s.direct_rtt_ms);
       std::vector<double> per_overlay, per_overlay_rtt;
