@@ -56,10 +56,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
 
-  double target = smoke ? 5'000 : 1'000'000;
-  if (const char* t = std::getenv("CRONETS_SERVICE_TARGET")) {
-    target = std::strtod(t, nullptr);
-  }
+  double target =
+      sim::env_double("CRONETS_SERVICE_TARGET", smoke ? 5'000 : 1'000'000, 1.0,
+                      100e6);
 
   bench::print_header("service", "overlay broker at session scale");
   bench::BenchRun run("bench_service_scale");

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/stats.h"
+#include "sim/env.h"
 #include "wkld/world.h"
 
 namespace cronets::bench {
@@ -15,17 +16,11 @@ namespace cronets::bench {
 /// Seed shared by every figure bench so the same generated Internet
 /// underlies the whole evaluation (override with CRONETS_SEED).
 inline std::uint64_t world_seed() {
-  if (const char* s = std::getenv("CRONETS_SEED")) {
-    return static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
-  }
-  return 42;
+  return sim::env_u64("CRONETS_SEED", 42);
 }
 
 /// Set CRONETS_QUICK=1 to shrink the slow (packet-level) benches.
-inline bool quick_mode() {
-  const char* q = std::getenv("CRONETS_QUICK");
-  return q && q[0] == '1';
-}
+inline bool quick_mode() { return sim::env_flag("CRONETS_QUICK"); }
 
 inline void print_header(const char* fig, const char* title) {
   std::printf("==================================================================\n");

@@ -15,6 +15,7 @@ declare -A json_of=(
   [bench_fig3_controlled]=fig3_controlled.json
   [bench_fig6_longitudinal]=fig6_longitudinal.json
   [bench_service_scale]=bench_service_scale.json
+  [bench_chaos]=bench_chaos.json
   [bench_micro]=bench_micro.json
 )
 

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <memory>
 #include <unordered_map>
 
 #include "model/batch_sampler.h"
+#include "sim/env.h"
 #include "sim/hash_rng.h"
 
 namespace cronets::core {
@@ -57,13 +57,8 @@ std::uint64_t pair_key(int src, int dst) {
 }  // namespace
 
 int probe_batch_size() {
-  static const int cached = [] {
-    if (const char* env = std::getenv("CRONETS_BATCH")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v >= 1) return static_cast<int>(std::min<long>(v, 1'000'000));
-    }
-    return 64;
-  }();
+  static const int cached =
+      static_cast<int>(sim::env_int("CRONETS_BATCH", 64, 1, 1'000'000));
   return cached;
 }
 

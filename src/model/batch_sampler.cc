@@ -153,6 +153,12 @@ void BatchSampler::sample_batch(const int* handles, std::size_t n, sim::Time t,
     total = std::clamp(total, 0.0, 0.98);
     u_[fi] = total;
     one_minus_loss_[fi] = 1.0 - net::loss_from_utilization(f_bg_[fi], total);
+    for (std::uint32_t e = f_event_begin_[fi]; e < f_event_begin_[fi + 1]; ++e) {
+      const topo::LinkEvent& ev = events_[e];
+      if (ev.loss_boost != 0.0 && t >= ev.from && t < ev.until) {
+        one_minus_loss_[fi] *= (1.0 - ev.loss_boost);
+      }
+    }
     // Light cross-traffic queueing (M/M/1-ish, negligible except when hot).
     queue_ms_[fi] =
         std::min(5.0, total / std::max(0.02, 1.0 - total) * f_pkt_ms_[fi]);

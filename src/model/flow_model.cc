@@ -128,7 +128,14 @@ double FlowModel::utilization(int link_id, bool forward, Time t) const {
 double FlowModel::link_loss(int link_id, bool forward, Time t) const {
   const auto& link = topo_->links()[link_id];
   const net::BackgroundParams& bg = forward ? link.bg_fwd : link.bg_rev;
-  return net::loss_from_utilization(bg, utilization(link_id, forward, t));
+  double loss = net::loss_from_utilization(bg, utilization(link_id, forward, t));
+  for (const auto& ev : topo_->events()) {
+    if (ev.link_id == link_id && ev.forward == forward && ev.loss_boost != 0.0 &&
+        t >= ev.from && t < ev.until) {
+      loss = 1.0 - (1.0 - loss) * (1.0 - ev.loss_boost);
+    }
+  }
+  return loss;
 }
 
 PathMetrics FlowModel::sample(const topo::RouterPath& path, Time t) const {
@@ -141,7 +148,17 @@ PathMetrics FlowModel::sample(const topo::RouterPath& path, Time t) const {
     const auto& link = topo_->links()[trav.link_id];
     const double u = utilization(trav.link_id, trav.forward, t);
     const net::BackgroundParams& bg = trav.forward ? link.bg_fwd : link.bg_rev;
-    survive *= (1.0 - net::loss_from_utilization(bg, u));
+    // Gray-failure loss events compose multiplicatively onto the survival
+    // factor; with no active event the operation sequence is unchanged, so
+    // event-free samples keep their exact bits.
+    double one_minus_loss = 1.0 - net::loss_from_utilization(bg, u);
+    for (const auto& ev : topo_->events()) {
+      if (ev.link_id == trav.link_id && ev.forward == trav.forward &&
+          ev.loss_boost != 0.0 && t >= ev.from && t < ev.until) {
+        one_minus_loss *= (1.0 - ev.loss_boost);
+      }
+    }
+    survive *= one_minus_loss;
     oneway_ms += link.delay_ms;
     // Light cross-traffic queueing (M/M/1-ish, negligible except when hot).
     const double pkt_ms = 1500.0 * 8.0 / link.capacity_bps * 1e3;
@@ -263,7 +280,13 @@ PathMetrics FlowModel::sample(const topo::PathRef& path, Time t) const {
   double oneway_ms = 0.0;
   for (const LinkField& f : agg->links) {
     const double u = field_utilization(f, t);
-    survive *= (1.0 - net::loss_from_utilization(f.bg, u));
+    double one_minus_loss = 1.0 - net::loss_from_utilization(f.bg, u);
+    for (const auto& ev : f.events) {
+      if (ev.loss_boost != 0.0 && t >= ev.from && t < ev.until) {
+        one_minus_loss *= (1.0 - ev.loss_boost);
+      }
+    }
+    survive *= one_minus_loss;
     oneway_ms += f.delay_ms;
     // Light cross-traffic queueing (M/M/1-ish, negligible except when hot).
     oneway_ms += std::min(5.0, u / std::max(0.02, 1.0 - u) * f.pkt_ms);

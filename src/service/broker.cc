@@ -91,6 +91,7 @@ std::uint64_t Broker::open_session(int pair_idx, double demand_bps) {
   }
   stamp_decision(id, static_cast<std::uint64_t>(pair_idx),
                  static_cast<std::uint64_t>(s.candidate));
+  if (monitor_) monitor_->on_admit(id, pair_idx, s.candidate, demand_bps, now_);
   return id;
 }
 
@@ -99,7 +100,12 @@ std::uint64_t Broker::open_session(int src, int dst, double demand_bps) {
 }
 
 void Broker::close_session(std::uint64_t id) {
-  if (sessions_.release(ranker_, id)) ++stats_.sessions_released;
+  if (!sessions_.live(id)) return;
+  const int pair_idx = sessions_.session(id).pair;
+  if (sessions_.release(ranker_, id)) {
+    ++stats_.sessions_released;
+    if (monitor_) monitor_->on_release(id, pair_idx, now_);
+  }
 }
 
 void Broker::run_until(sim::Time t) {
@@ -161,13 +167,17 @@ void Broker::apply_probe(int pair_idx, const core::PairSample& s, sim::Time t,
     ++stats_.regret_samples;
   }
   if (changed) ++stats_.ranking_flips;
+  int moved = 0;
   if (changed || force_repin) {
-    const int moved = sessions_.repin_pair(ranker_, pair_idx);
+    moved = sessions_.repin_pair(ranker_, pair_idx);
     stats_.migrations += static_cast<std::uint64_t>(moved);
     if (force_repin) stats_.failover_repins += static_cast<std::uint64_t>(moved);
     stamp_decision(static_cast<std::uint64_t>(pair_idx),
                    static_cast<std::uint64_t>(moved),
                    static_cast<std::uint64_t>(p.best));
+  }
+  if (monitor_) {
+    monitor_->on_probe_applied(pair_idx, t, changed || force_repin, moved);
   }
 }
 
@@ -207,7 +217,12 @@ void Broker::on_mutation(const topo::Mutation& m) {
   pending_failover_pairs_.erase(std::unique(pending_failover_pairs_.begin(),
                                             pending_failover_pairs_.end()),
                                 pending_failover_pairs_.end());
-  if (pending_failover_since_.ns() < 0) pending_failover_since_ = now_;
+  // Stamp the reaction clock only when this mutation actually put pairs on
+  // the failover list: a failure nothing crosses must not start the clock
+  // for a later, unrelated failure batched into the same window.
+  if (!pending_failover_pairs_.empty() && pending_failover_since_.ns() < 0) {
+    pending_failover_since_ = now_;
+  }
   if (!failover_scheduled_ && !pending_failover_pairs_.empty()) {
     failover_scheduled_ = true;
     queue_.schedule(now_ + cfg_.failover_delay, [this] { handle_failover(); });
@@ -222,6 +237,7 @@ void Broker::handle_failover() {
   pending_failover_since_ = sim::Time{-1};
   if (pairs.empty()) return;
 
+  const std::uint64_t repins_before = stats_.failover_repins;
   measure_pairs(pairs, now_);
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     apply_probe(pairs[i], probe_results_[i], now_, /*force_repin=*/true);
@@ -229,6 +245,11 @@ void Broker::handle_failover() {
   stats_.probes += pairs.size();
   ++stats_.failover_events;
   stats_.last_failover_reaction = now_ - since;
+  if (monitor_) {
+    monitor_->on_failover_complete(
+        since, now_, pairs,
+        static_cast<int>(stats_.failover_repins - repins_before));
+  }
 }
 
 int Broker::sessions_traversing(int as_a, int as_b) const {

@@ -57,6 +57,38 @@ struct BrokerStats {
   }
 };
 
+/// Observer of broker control-plane decisions, invoked synchronously from
+/// the single-threaded event queue — hooks see a consistent broker state
+/// and may query it (ranker, sessions), but must not mutate it. All
+/// overrides default to no-ops; the broker itself works unobserved. The
+/// chaos::ResilienceMonitor is the main implementation.
+class BrokerMonitor {
+ public:
+  virtual ~BrokerMonitor() = default;
+  /// A session was admitted onto candidate index `candidate` of the pair.
+  virtual void on_admit(std::uint64_t id, int pair_idx, int candidate,
+                        double demand_bps, sim::Time t) {
+    (void)id, (void)pair_idx, (void)candidate, (void)demand_bps, (void)t;
+  }
+  /// A live session was released.
+  virtual void on_release(std::uint64_t id, int pair_idx, sim::Time t) {
+    (void)id, (void)pair_idx, (void)t;
+  }
+  /// A probe sample was folded into the pair's ranking. `repinned` is true
+  /// when the pair's sessions were re-evaluated (ranking change or forced
+  /// failover); `moved` counts the sessions that actually migrated.
+  virtual void on_probe_applied(int pair_idx, sim::Time t, bool repinned,
+                                int moved) {
+    (void)pair_idx, (void)t, (void)repinned, (void)moved;
+  }
+  /// A scheduled failover completed: every impacted pair was re-probed and
+  /// force-repinned. `began` is when the first batched mutation fired.
+  virtual void on_failover_complete(sim::Time began, sim::Time t,
+                                    const std::vector<int>& pairs, int moved) {
+    (void)began, (void)t, (void)pairs, (void)moved;
+  }
+};
+
 /// The CRONets overlay broker: an online control plane in simulated time.
 /// A ProbeScheduler refreshes per-pair rankings under a probe budget, a
 /// PathRanker smooths them (EWMA + hysteresis), a SessionManager admits
@@ -100,6 +132,11 @@ class Broker {
   /// events) up to and including simulated time `t`.
   void run_until(sim::Time t);
 
+  /// Attach (or detach with nullptr) a decision observer. Observation
+  /// never feeds back into decisions, so the decision fingerprint is
+  /// identical with and without a monitor.
+  void set_monitor(BrokerMonitor* monitor) { monitor_ = monitor; }
+
   sim::Time now() const { return now_; }
   sim::EventQueue& queue() { return queue_; }
   const BrokerStats& stats() const { return stats_; }
@@ -138,6 +175,7 @@ class Broker {
   ProbeScheduler scheduler_;
   SessionManager sessions_;
   BrokerStats stats_;
+  BrokerMonitor* monitor_ = nullptr;
   int listener_id_ = -1;
   std::uint64_t route_epoch_ = 0;  ///< bumped per adjacency mutation
 

@@ -126,6 +126,12 @@ bool SessionManager::release(PathRanker& ranker, std::uint64_t id) {
   return true;
 }
 
+void SessionManager::pair_session_ids(const PairState& p,
+                                      std::vector<std::uint64_t>* out) const {
+  out->reserve(out->size() + p.sessions.size());
+  for (std::uint32_t slot : p.sessions) out->push_back(id_of(slot));
+}
+
 int SessionManager::repin_pair(PathRanker& ranker, int pair_idx) {
   PairState& p = ranker.pair(pair_idx);
   int migrated = 0;

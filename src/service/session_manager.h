@@ -68,6 +68,11 @@ class SessionManager {
   /// were pushed to a lower-ranked path by a full NIC.
   std::uint64_t overlay_denied() const { return overlay_denied_; }
 
+  /// Append the ids of the pair's live sessions (admission order with
+  /// swap-removals — the same deterministic order repin_pair walks).
+  void pair_session_ids(const PairState& p,
+                        std::vector<std::uint64_t>* out) const;
+
   template <typename Fn>
   void for_each_live(Fn&& fn) const {
     for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {

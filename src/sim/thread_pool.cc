@@ -1,16 +1,15 @@
 #include "sim/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "sim/env.h"
 
 namespace cronets::sim {
 
 int Parallelism::resolved() const {
   if (threads > 0) return threads;
-  if (const char* env = std::getenv("CRONETS_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
-  }
+  const long n = env_int("CRONETS_THREADS", 0, 1, 4096);
+  if (n > 0) return static_cast<int>(n);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }

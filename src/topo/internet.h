@@ -151,6 +151,10 @@ struct LinkEvent {
   sim::Time from{};
   sim::Time until{};
   double util_boost = 0.0;
+  /// Extra loss probability folded into the direction's survival factor
+  /// (gray failure: the link stays up and routed, but drops packets).
+  /// Composes independently of utilization: 1-l := (1-l) * (1-loss_boost).
+  double loss_boost = 0.0;
 };
 
 /// One post-construction topology mutation, as delivered to registered

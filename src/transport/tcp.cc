@@ -5,12 +5,24 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/env.h"
+
 namespace cronets::transport {
 
 using net::IpAddr;
 using net::Packet;
 using net::TcpSegment;
 using sim::Time;
+
+namespace {
+/// TCP_DEBUG tracing guard, resolved once per process: loss-recovery and
+/// RTO events fire millions of times in packet-level runs, so the hot path
+/// must not call getenv per event.
+bool tcp_debug() {
+  static const bool on = sim::env_flag("TCP_DEBUG");
+  return on;
+}
+}  // namespace
 
 // Sequence-space convention: the SYN occupies sequence 0, application payload
 // byte i lives at sequence 1+i, and the FIN occupies sequence 1+stream_len.
@@ -280,7 +292,7 @@ void TcpConnection::handle_ack(const TcpSegment& seg, std::int64_t prev_rwnd,
       recovery_covered_ = snd_una_ + static_cast<std::uint64_t>(sacked_bytes_above_una());
       cc_->on_loss_event(now);
       ++stats_.fast_retx_count;
-      if (getenv("TCP_DEBUG")) fprintf(stderr, "[%.3f] FR enter una=%llu recover=%llu cwnd=%.0f\n", now.to_seconds(), (unsigned long long)snd_una_, (unsigned long long)recover_, cc_->cwnd());
+      if (tcp_debug()) fprintf(stderr, "[%.3f] FR enter una=%llu recover=%llu cwnd=%.0f\n", now.to_seconds(), (unsigned long long)snd_una_, (unsigned long long)recover_, cc_->cwnd());
       if (!retransmit_next_hole()) retransmit_one();
       arm_rto();
     } else if (dup_ack_count_ > 3 && in_recovery_) {
@@ -752,7 +764,7 @@ void TcpConnection::on_rto() {
   if (snd_una_ >= snd_max_ && !(syn_sent_ && !syn_acked_)) return;
   ++consecutive_rtos_;
   ++stats_.rto_count;
-  if (getenv("TCP_DEBUG")) fprintf(stderr, "[%.3f] RTO una=%llu max=%llu cwnd=%.0f rto=%.0fms\n", simv()->now().to_seconds(), (unsigned long long)snd_una_, (unsigned long long)snd_max_, cc_->cwnd(), rto_.to_milliseconds());
+  if (tcp_debug()) fprintf(stderr, "[%.3f] RTO una=%llu max=%llu cwnd=%.0f rto=%.0fms\n", simv()->now().to_seconds(), (unsigned long long)snd_una_, (unsigned long long)snd_max_, cc_->cwnd(), rto_.to_milliseconds());
   if (consecutive_rtos_ > cfg_.max_consecutive_rtos) {
     fail_connection();
     return;

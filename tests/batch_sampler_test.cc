@@ -273,6 +273,70 @@ TEST(BatchMeasure, PostMutationMeasurementsTrackScalar) {
   }
 }
 
+TEST(BatchSampler, ReinternsConsistentlyThroughFlapStorm) {
+  // Chaos-style storm: an adjacency bounces down/up repeatedly while a
+  // mutation listener subscribes and unsubscribes mid-storm. After every
+  // bounce the sampler must notice the epoch change, demand re-interning,
+  // and reproduce the scalar sampler bit for bit against the new routes.
+  wkld::World world(9, small_params(9));
+  auto& net = world.internet();
+  const auto pops = make_populations(world, 4);
+
+  int as_a = -1, as_b = -1;
+  const auto& ases = net.ases();
+  for (std::size_t i = 0; i < ases.size() && as_a < 0; ++i) {
+    if (ases[i].tier != topo::Tier::kTier1) continue;
+    for (const auto& adj : ases[i].adj) {
+      if (ases[adj.nbr_as].tier == topo::Tier::kTier1) {
+        as_a = static_cast<int>(i);
+        as_b = adj.nbr_as;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(as_a, 0);
+
+  model::BatchSampler sampler(&world.flow());
+  sampler.begin_batch();
+  {
+    const auto paths = sweep_paths(world, pops);
+    for (const auto& p : paths) sampler.intern(p);
+  }
+
+  int listener_seen = 0;
+  int listener = net.add_mutation_listener(
+      [&](const topo::Mutation&) { ++listener_seen; });
+
+  std::vector<model::PathMetrics> out;
+  for (int round = 0; round < 6; ++round) {
+    const bool up = (round % 2) != 0;
+    ASSERT_TRUE(net.set_adjacency_up(as_a, as_b, up));
+    // Listener churn mid-storm must not disturb the sampler's own
+    // epoch-listener registration.
+    if (round == 2) {
+      net.remove_mutation_listener(listener);
+      listener = net.add_mutation_listener(
+          [&](const topo::Mutation&) { ++listener_seen; });
+    }
+    EXPECT_TRUE(sampler.begin_batch());  // epoch changed: everything drops
+    EXPECT_EQ(sampler.paths(), 0u);
+    const auto paths = sweep_paths(world, pops);
+    std::vector<int> handles;
+    for (const auto& p : paths) handles.push_back(sampler.intern(p));
+    out.resize(paths.size());
+    const sim::Time t = sim::Time::minutes(15 * (round + 1));
+    sampler.sample_batch(handles.data(), handles.size(), t, out.data());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      expect_metrics_equal(out[i], world.flow().sample(paths[i], t), "storm");
+    }
+  }
+  net.remove_mutation_listener(listener);
+  EXPECT_EQ(listener_seen, 6);
+
+  // Quiet world: no epoch change, the interned batch stays valid.
+  EXPECT_FALSE(sampler.begin_batch());
+}
+
 TEST(BatchKnob, ProbeBatchSizeIsAtLeastOne) {
   EXPECT_GE(core::probe_batch_size(), 1);
 }

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "model/flow_model.h"
@@ -127,6 +129,77 @@ TEST(PathCache, ConcurrentLookupsInternExactlyOneObjectPerPair) {
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     expect_same_path(*net.cached_path(pairs[i].first, pairs[i].second),
                      net.path(pairs[i].first, pairs[i].second));
+  }
+}
+
+TEST(PathCache, FlapStormWithListenerChurnKeepsCacheConsistent) {
+  // A chaos-style flap storm: adjacencies bounce rapidly while mutation
+  // listeners subscribe and unsubscribe mid-storm. The cache must drop its
+  // interned mesh on every adjacency change, the epoch must advance
+  // monotonically, and listeners must see exactly the mutations delivered
+  // while they were subscribed.
+  wkld::World world(7);
+  auto& net = world.internet();
+  const std::vector<int> eps = mesh_endpoints(world);
+
+  // Flap targets: the first transit adjacencies of a few live routes.
+  std::vector<std::pair<int, int>> flaps;
+  for (std::size_t i = 0; i + 1 < eps.size() && flaps.size() < 3; i += 2) {
+    const topo::PathRef p = net.cached_path(eps[i], eps[i + 1]);
+    if (!p->valid || p->as_seq.size() < 2) continue;
+    const std::pair<int, int> adj{p->as_seq[0], p->as_seq[1]};
+    if (std::find(flaps.begin(), flaps.end(), adj) == flaps.end()) {
+      flaps.push_back(adj);
+    }
+  }
+  ASSERT_GE(flaps.size(), 2u);
+
+  int early_seen = 0, late_seen = 0;
+  const int early = net.add_mutation_listener(
+      [&](const topo::Mutation& m) {
+        EXPECT_EQ(m.kind, topo::Mutation::Kind::kAdjacencyChange);
+        ++early_seen;
+      });
+  int late = -1;
+
+  std::uint64_t last_epoch = net.mutation_epoch();
+  constexpr int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const auto& [a, b] : flaps) {
+      ASSERT_TRUE(net.set_adjacency_up(a, b, false));
+      EXPECT_EQ(net.path_cache().size(), 0u);  // mesh dropped synchronously
+      EXPECT_GT(net.mutation_epoch(), last_epoch);
+      last_epoch = net.mutation_epoch();
+      ASSERT_TRUE(net.set_adjacency_up(a, b, true));
+      EXPECT_GT(net.mutation_epoch(), last_epoch);
+      last_epoch = net.mutation_epoch();
+    }
+    // Listener churn mid-storm: the early listener leaves halfway, a late
+    // one joins — neither unsubscription nor subscription may be missed.
+    if (round == kRounds / 2 - 1) {
+      net.remove_mutation_listener(early);
+      late = net.add_mutation_listener(
+          [&](const topo::Mutation& m) {
+            EXPECT_EQ(m.kind, topo::Mutation::Kind::kAdjacencyChange);
+            ++late_seen;
+          });
+    }
+    // Mid-storm queries re-intern against the current routing state.
+    const topo::PathRef q = net.cached_path(eps.front(), eps.back());
+    expect_same_path(*q, net.path(eps.front(), eps.back()));
+  }
+  if (late >= 0) net.remove_mutation_listener(late);
+
+  const int per_round = 2 * static_cast<int>(flaps.size());
+  EXPECT_EQ(early_seen, per_round * (kRounds / 2));
+  EXPECT_EQ(late_seen, per_round * (kRounds - kRounds / 2));
+
+  // Storm over: every adjacency restored, cache rebuilds to fresh routes.
+  for (int src : eps) {
+    for (int dst : eps) {
+      if (src == dst) continue;
+      expect_same_path(*net.cached_path(src, dst), net.path(src, dst));
+    }
   }
 }
 
