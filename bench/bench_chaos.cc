@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   const long intensity = sim::env_int("CRONETS_CHAOS", 1, 0, 8);
 
   bench::print_header("chaos", "broker resilience under scripted fault scenarios");
-  bench::BenchRun run("bench_chaos");
+  bench::BenchRun run("bench_chaos", smoke);
 
   wkld::World world(bench::world_seed());
   const auto clients = world.make_web_clients(smoke ? 30 : 120);

@@ -1,17 +1,25 @@
 // Overlay-broker scale bench: drives the src/service/ control plane with
 // the session-churn workload (Poisson arrivals, Pareto durations) at
-// million-session concurrency, injects a transit-adjacency failure
-// mid-run, and reports admission rate, path-decision latency (wall-clock
-// and ranking staleness), probe overhead, failover reaction, and goodput
-// regret vs. the per-sample oracle. Probe sweeps run through the batched
-// SoA measurement kernel (CRONETS_BATCH), which is what lets the default
-// target sit at 10^6 concurrent sessions. `--smoke` shrinks everything
-// for CI; the CRONETS_SERVICE_TARGET env var overrides the concurrency
-// target.
+// provider scale (default: 10^7 concurrent sessions across 8 broker
+// shards), injects a transit-adjacency failure mid-run, and reports
+// admission rate (aggregate and per shard), path-decision latency
+// (wall-clock and ranking staleness), probe overhead, failover reaction,
+// and goodput regret vs. the per-sample oracle. The control plane is the
+// sharded multi-broker (service::ShardedBroker): `--shards N` (or
+// CRONETS_SHARDS) picks the shard count, and every seed-pure output row —
+// the decision fingerprint above all — is bitwise identical at any shard
+// count and any thread count. Probe sweeps run through the batched SoA
+// measurement kernel (CRONETS_BATCH). `--smoke` shrinks everything for CI
+// (and writes smoke_*.json); CRONETS_SERVICE_TARGET overrides the
+// concurrency target.
 //
 // JSON: all `checks` rows are a pure function of the seed (the decision
-// fingerprint row is the cross-thread determinism witness); wall-clock
-// metrics land under `extra`.
+// fingerprint row is the cross-thread *and* cross-shard determinism
+// witness); wall-clock metrics — aggregate and per-shard admission rates,
+// decision latency — land under `extra`. Text output: per-shard rows are
+// prefixed "-- shard" and the shard-count line "-- config", so the CI
+// determinism diff can compare runs at different shard counts after
+// filtering those (every aggregate row must survive the diff).
 
 #include <algorithm>
 #include <cstring>
@@ -20,7 +28,7 @@
 
 #include "bench_util.h"
 #include "core/selection.h"
-#include "service/broker.h"
+#include "service/sharded_broker.h"
 #include "wkld/session_churn.h"
 #include "wkld/world.h"
 
@@ -52,16 +60,23 @@ double percentile_f(std::vector<float>* v, double p) {
 
 int main(int argc, char** argv) {
   bool smoke = bench::quick_mode();
+  long shards_arg = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards_arg = std::strtol(argv[++i], nullptr, 10);
+    }
   }
+  const int num_shards = static_cast<int>(
+      shards_arg > 0 ? shards_arg
+                     : sim::env_u64("CRONETS_SHARDS", smoke ? 1 : 8));
 
   double target =
-      sim::env_double("CRONETS_SERVICE_TARGET", smoke ? 5'000 : 1'000'000, 1.0,
-                      100e6);
+      sim::env_double("CRONETS_SERVICE_TARGET", smoke ? 5'000 : 10'000'000,
+                      1.0, 100e6);
 
-  bench::print_header("service", "overlay broker at session scale");
-  bench::BenchRun run("bench_service_scale");
+  bench::print_header("service", "sharded overlay broker at session scale");
+  bench::BenchRun run("bench_service_scale", smoke);
 
   wkld::World world(bench::world_seed());
   const auto clients = world.make_web_clients(smoke ? 30 : 120);
@@ -77,8 +92,8 @@ int main(int argc, char** argv) {
   cfg.probe.budget_per_tick =
       static_cast<int>((num_pairs + ticks_per_interval - 1) / ticks_per_interval);
   cfg.failover_delay = sim::Time::seconds(1);
-  service::Broker broker(&world.internet(), &world.meter(), &world.pool(),
-                         overlays, cfg);
+  service::ShardedBroker broker(&world.internet(), &world.meter(),
+                                &world.pool(), overlays, num_shards, cfg);
 
   wkld::SessionChurnParams churn_params;
   churn_params.seed = bench::world_seed() ^ 0xc0ffee;
@@ -87,6 +102,10 @@ int main(int argc, char** argv) {
   churn_params.horizon =
       sim::Time::from_seconds(3.0 * churn_params.mean_duration_s);
   churn_params.record_latency = true;
+  // At 10^7 concurrency the run admits ~4x target sessions; sampling every
+  // 16th admission keeps the latency log in the low hundreds of MB while
+  // leaving millions of percentile samples.
+  churn_params.latency_sample_every = target >= 1e6 ? 16 : 1;
   wkld::SessionChurn churn(&broker, clients, servers, churn_params);
   churn.start();
   broker.warm_up();
@@ -109,7 +128,7 @@ int main(int argc, char** argv) {
   broker.run_until(churn_params.horizon);
   run.stop_clock();
 
-  const auto& st = broker.stats();
+  const auto st = broker.stats();
   auto churn_stats = churn.stats();  // copy: percentile reorders the vectors
   // "pairs" for this bench = admission decisions, so the JSON's
   // pairs_per_s is the headline sessions-admitted-per-wall-second rate.
@@ -117,10 +136,11 @@ int main(int argc, char** argv) {
 
   // Aggregate goodput regret, recomputed from the recorded per-pair probe
   // histories with the core/selection oracle (mptcp_achieved at
-  // efficiency 1 == the per-sample best path).
+  // efficiency 1 == the per-sample best path). Pairs are folded in
+  // global-pair-id order, so the sums are bitwise shard-count-invariant.
   double oracle_sum = 0.0, achieved_sum = 0.0;
-  for (std::size_t i = 0; i < broker.ranker().size(); ++i) {
-    const auto& p = broker.ranker().pair(static_cast<int>(i));
+  for (std::size_t g = 0; g < broker.pair_count(); ++g) {
+    const auto& p = broker.pair(static_cast<int>(g));
     const auto oracle = core::mptcp_achieved(p.history, 1.0);
     for (double v : oracle) oracle_sum += v;
     for (double v : p.achieved_bps) achieved_sum += v;
@@ -134,9 +154,25 @@ int main(int argc, char** argv) {
       percentile_f(&churn_stats.admit_staleness_s, 0.50);
   const double p99_stale_s =
       percentile_f(&churn_stats.admit_staleness_s, 0.99);
+  const double wall_s = run.wall_seconds();
+
+  // Per-shard NIC accounting must sum to the shared (physical) ledger —
+  // the shards split the books, not the capacity.
+  double shard_nic_sum = 0.0;
+  std::uint64_t overlay_denied = 0;
+  for (const auto& ss : st.shards) {
+    shard_nic_sum += ss.nic_used_bps;
+    overlay_denied += ss.overlay_denied;
+  }
+  const double global_nic = broker.global_nic().total_used_bps();
+  const bool nic_books_ok =
+      std::abs(shard_nic_sum - global_nic) <=
+      1e-9 * std::max(1.0, std::max(std::abs(shard_nic_sum), std::abs(global_nic)));
 
   std::printf("clients=%zu servers=%zu pairs=%zu overlays=%zu\n",
               clients.size(), servers.size(), num_pairs, overlays.size());
+  std::printf("-- config: shards=%d threads=%d\n", broker.num_shards(),
+              sim::Parallelism{}.resolved());
   std::printf("target %.0f concurrent, arrival rate %.0f/s, horizon %.0f s\n",
               target, churn.arrival_rate_per_s(),
               churn_params.horizon.to_seconds());
@@ -147,7 +183,7 @@ int main(int argc, char** argv) {
   std::printf("via overlay %llu, overlay-denied %llu, migrations %llu, "
               "ranking flips %llu\n",
               static_cast<unsigned long long>(st.admitted_via_overlay),
-              static_cast<unsigned long long>(broker.sessions().overlay_denied()),
+              static_cast<unsigned long long>(overlay_denied),
               static_cast<unsigned long long>(st.migrations),
               static_cast<unsigned long long>(st.ranking_flips));
   std::printf("probes %llu (budget %d/tick), probe backlog %llu\n",
@@ -165,9 +201,36 @@ int main(int argc, char** argv) {
               "p50 %.1f s, p99 %.1f s\n",
               p50_wall_us, p99_wall_us, p50_stale_s, p99_stale_s);
 
+  run.add_extra("shards", static_cast<double>(broker.num_shards()));
   run.add_extra("decision_wall_p50_us", p50_wall_us);
   run.add_extra("decision_wall_p99_us", p99_wall_us);
   run.add_extra("p99_under_50us", p99_wall_us < 50.0 ? 1.0 : 0.0);
+  run.add_extra("regret_mean_per_probe", st.mean_regret());
+  run.add_extra("regret_aggregate_vs_oracle", aggregate_regret);
+
+  // Per-shard rows: "-- shard" text prefix + shard<k>_* extras. These are
+  // the only outputs that legitimately differ between shard counts.
+  run.add_extra("admissions_per_s",
+                wall_s > 0 ? static_cast<double>(st.sessions_admitted) / wall_s
+                           : 0.0);
+  for (std::size_t s = 0; s < st.shards.size(); ++s) {
+    const auto& ss = st.shards[s];
+    const double adm_per_s =
+        wall_s > 0 ? static_cast<double>(ss.sessions_admitted) / wall_s : 0.0;
+    std::printf("-- shard %zu: pairs=%zu admitted=%llu (%.0f/s) active=%zu "
+                "probes=%llu migrations=%llu nic_used=%.3g bps\n",
+                s, ss.pairs,
+                static_cast<unsigned long long>(ss.sessions_admitted),
+                adm_per_s, ss.active_sessions,
+                static_cast<unsigned long long>(ss.probes),
+                static_cast<unsigned long long>(ss.migrations),
+                ss.nic_used_bps);
+    run.add_extra("shard" + std::to_string(s) + "_admitted",
+                  static_cast<double>(ss.sessions_admitted));
+    run.add_extra("shard" + std::to_string(s) + "_admissions_per_s", adm_per_s);
+    run.add_extra("shard" + std::to_string(s) + "_probes",
+                  static_cast<double>(ss.probes));
+  }
 
   const bool failover_ok = fail_a >= 0 && crossing_after == 0 &&
                            st.last_failover_reaction <= cfg.probe.interval;
@@ -193,6 +256,8 @@ int main(int argc, char** argv) {
        static_cast<double>(crossing_after)},
       {"repinned within one probe interval (1=yes)", 1.0,
        failover_ok ? 1.0 : 0.0},
+      {"per-shard NIC books sum to global ledger (1=yes)", 1.0,
+       nic_books_ok ? 1.0 : 0.0},
       {"decision fingerprint (low 32 bits)", -1.0,
        static_cast<double>(st.decision_fingerprint & 0xffffffffu)},
   };

@@ -64,10 +64,17 @@ inline void print_paper_checks(const std::vector<PaperCheck>& checks) {
 /// human-facing artifact). The JSON `checks` block depends only on the
 /// world seed — never on thread count or timing — so it doubles as the
 /// determinism fingerprint for the parallel engine.
+///
+/// Shrunk runs (`--smoke` / CRONETS_QUICK) write
+/// bench_results/smoke_<name>.json instead, so a CI smoke pass can never
+/// clobber a full-run result (and tools/check_bench_regress.py compares
+/// smoke runs against the committed bench/baselines/smoke_*.json).
 class BenchRun {
  public:
-  explicit BenchRun(std::string name)
-      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+  explicit BenchRun(std::string name, bool smoke = quick_mode())
+      : name_(std::move(name)),
+        smoke_(smoke),
+        start_(std::chrono::steady_clock::now()) {}
 
   /// Record how many endpoint pairs the measurement phase swept.
   void set_pairs(long pairs) { pairs_ = pairs; }
@@ -87,6 +94,9 @@ class BenchRun {
                     .count();
     }
   }
+
+  /// Measured wall seconds (valid after stop_clock()).
+  double wall_seconds() const { return wall_s_; }
 
   void finish(const std::vector<PaperCheck>& checks) {
     stop_clock();
@@ -113,13 +123,15 @@ class BenchRun {
   void write_json(const std::vector<PaperCheck>& checks) const {
     std::error_code ec;
     std::filesystem::create_directories("bench_results", ec);
-    const std::string path = "bench_results/" + name_ + ".json";
+    const std::string path =
+        std::string("bench_results/") + (smoke_ ? "smoke_" : "") + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) return;  // read-only checkout: the text report already printed
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", json_escape(name_).c_str());
     std::fprintf(f, "  \"seed\": %llu,\n",
                  static_cast<unsigned long long>(world_seed()));
     std::fprintf(f, "  \"threads\": %d,\n", threads());
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke_ ? "true" : "false");
     std::fprintf(f, "  \"quick\": %s,\n", quick_mode() ? "true" : "false");
     std::fprintf(f, "  \"wall_s\": %.6f,\n", wall_s_);
     std::fprintf(f, "  \"pairs\": %ld,\n", pairs_);
@@ -144,6 +156,7 @@ class BenchRun {
   }
 
   std::string name_;
+  bool smoke_ = false;
   std::chrono::steady_clock::time_point start_;
   double wall_s_ = -1.0;
   long pairs_ = 0;

@@ -1,10 +1,23 @@
 #!/bin/bash
 # Regenerate every paper figure/table + ablations. CRONETS_QUICK=1 shrinks
-# the packet-level runs. Exits non-zero if any bench failed (all benches
-# still run, so one bad figure doesn't mask the rest of the report).
+# the packet-level runs (and benches then write smoke_*.json instead of
+# their full-run JSON, so a quick pass never clobbers archived full
+# results). `--check` additionally runs tools/check_bench_regress.py
+# against the committed bench/baselines/ after the benches finish.
+# Exits non-zero if any bench failed (all benches still run, so one bad
+# figure doesn't mask the rest of the report).
 set -euo pipefail
 cd "$(dirname "$0")"
 mkdir -p bench_results
+
+run_check=0
+for arg in "$@"; do
+  [ "$arg" = "--check" ] && run_check=1
+done
+
+# Quick/smoke runs write smoke_<name>.json (see bench::BenchRun).
+smoke_prefix=""
+[ -n "${CRONETS_QUICK:-}" ] && [ "${CRONETS_QUICK}" != "0" ] && smoke_prefix="smoke_"
 
 # Benches that record machine-readable results via bench::BenchRun and the
 # JSON file each must leave behind. A bench that "passes" but writes a
@@ -24,7 +37,7 @@ check_json() {
   local name=$1
   local json_name=${json_of[$name]:-}
   [ -z "$json_name" ] && return 0
-  local json="bench_results/$json_name"
+  local json="bench_results/$smoke_prefix$json_name"
   if [ ! -f "$json" ]; then
     failed+=("$name")
     echo "FAILED: $name did not write $json" >&2
@@ -42,7 +55,7 @@ for b in build/bench/bench_*; do
   [ "$name" = bench_micro ] && continue
   echo "== $name =="
   # Remove any stale JSON so a previous run's file can't mask a silent skip.
-  [ -n "${json_of[$name]:-}" ] && rm -f "bench_results/${json_of[$name]}"
+  [ -n "${json_of[$name]:-}" ] && rm -f "bench_results/$smoke_prefix${json_of[$name]}"
   if ! "$b" > "bench_results/${name#bench_}.txt" 2>&1; then
     failed+=("$name")
     echo "FAILED: $name (see bench_results/${name#bench_}.txt)"
@@ -52,7 +65,7 @@ for b in build/bench/bench_*; do
   tail -n 20 "bench_results/${name#bench_}.txt"
 done
 
-rm -f "bench_results/${json_of[bench_micro]}"
+rm -f "bench_results/$smoke_prefix${json_of[bench_micro]}"
 if ! build/bench/bench_micro --benchmark_min_time=0.2 | tee bench_results/micro.txt; then
   failed+=(bench_micro)
 else
@@ -64,3 +77,9 @@ if [ "${#failed[@]}" -gt 0 ]; then
   exit 1
 fi
 echo "all benches passed"
+
+if [ "$run_check" = 1 ]; then
+  echo "== bench regression gate (vs bench/baselines/) =="
+  python3 tools/check_bench_regress.py \
+    --baseline-dir bench/baselines --results-dir bench_results
+fi

@@ -21,6 +21,56 @@ bool is_transit(const topo::Internet& topo, int as_id) {
 }
 }  // namespace
 
+int count_sessions_traversing(const PathRanker& ranker,
+                              const SessionManager& sessions, int as_a,
+                              int as_b) {
+  int count = 0;
+  sessions.for_each_live([&](std::uint64_t, const Session& s) {
+    const PairState& p = ranker.pair(s.pair);
+    const Candidate& c = p.candidates[static_cast<std::size_t>(s.candidate)];
+    const bool uses = (c.path && path_uses_adjacency(*c.path, as_a, as_b)) ||
+                      (c.leg2 && path_uses_adjacency(*c.leg2, as_a, as_b));
+    if (uses) ++count;
+  });
+  return count;
+}
+
+void accumulate_transit_load(const topo::Internet& topo,
+                             const PathRanker& ranker,
+                             const SessionManager& sessions,
+                             std::unordered_map<std::uint64_t, int>* load) {
+  const auto count_path = [&](const topo::RouterPath& path) {
+    for (std::size_t i = 1; i < path.as_seq.size(); ++i) {
+      const int u = path.as_seq[i - 1], v = path.as_seq[i];
+      if (is_transit(topo, u) && is_transit(topo, v)) {
+        ++(*load)[adjacency_key(u, v)];
+      }
+    }
+  };
+  sessions.for_each_live([&](std::uint64_t, const Session& s) {
+    const PairState& p = ranker.pair(s.pair);
+    const Candidate& c = p.candidates[static_cast<std::size_t>(s.candidate)];
+    if (c.path) count_path(*c.path);
+    if (c.leg2) count_path(*c.leg2);
+  });
+}
+
+bool busiest_adjacency_in(const std::unordered_map<std::uint64_t, int>& load,
+                          int* as_a, int* as_b) {
+  std::uint64_t best_key = 0;
+  int best_count = 0;
+  for (const auto& [key, count] : load) {
+    if (count > best_count || (count == best_count && key < best_key)) {
+      best_count = count;
+      best_key = key;
+    }
+  }
+  if (best_count == 0) return false;
+  *as_a = static_cast<int>(best_key >> 32);
+  *as_b = static_cast<int>(best_key & 0xffffffffu);
+  return true;
+}
+
 Broker::Broker(topo::Internet* topo, const core::ModelMeasurement* meter,
                sim::ThreadPool* pool, std::vector<int> overlay_eps,
                BrokerConfig cfg)
@@ -91,6 +141,7 @@ std::uint64_t Broker::open_session(int pair_idx, double demand_bps) {
   }
   stamp_decision(id, static_cast<std::uint64_t>(pair_idx),
                  static_cast<std::uint64_t>(s.candidate));
+  stamp_pair_admit(ranker_.pair(pair_idx), s.candidate);
   if (monitor_) monitor_->on_admit(id, pair_idx, s.candidate, demand_bps, now_);
   return id;
 }
@@ -175,6 +226,7 @@ void Broker::apply_probe(int pair_idx, const core::PairSample& s, sim::Time t,
     stamp_decision(static_cast<std::uint64_t>(pair_idx),
                    static_cast<std::uint64_t>(moved),
                    static_cast<std::uint64_t>(p.best));
+    stamp_pair_repin(p, moved);
   }
   if (monitor_) {
     monitor_->on_probe_applied(pair_idx, t, changed || force_repin, moved);
@@ -253,45 +305,13 @@ void Broker::handle_failover() {
 }
 
 int Broker::sessions_traversing(int as_a, int as_b) const {
-  int count = 0;
-  sessions_.for_each_live([&](std::uint64_t, const Session& s) {
-    const PairState& p = ranker_.pair(s.pair);
-    const Candidate& c = p.candidates[static_cast<std::size_t>(s.candidate)];
-    const bool uses = (c.path && path_uses_adjacency(*c.path, as_a, as_b)) ||
-                      (c.leg2 && path_uses_adjacency(*c.leg2, as_a, as_b));
-    if (uses) ++count;
-  });
-  return count;
+  return count_sessions_traversing(ranker_, sessions_, as_a, as_b);
 }
 
 bool Broker::busiest_transit_adjacency(int* as_a, int* as_b) const {
   std::unordered_map<std::uint64_t, int> load;
-  const auto count_path = [&](const topo::RouterPath& path) {
-    for (std::size_t i = 1; i < path.as_seq.size(); ++i) {
-      const int u = path.as_seq[i - 1], v = path.as_seq[i];
-      if (is_transit(*topo_, u) && is_transit(*topo_, v)) {
-        ++load[adjacency_key(u, v)];
-      }
-    }
-  };
-  sessions_.for_each_live([&](std::uint64_t, const Session& s) {
-    const PairState& p = ranker_.pair(s.pair);
-    const Candidate& c = p.candidates[static_cast<std::size_t>(s.candidate)];
-    if (c.path) count_path(*c.path);
-    if (c.leg2) count_path(*c.leg2);
-  });
-  std::uint64_t best_key = 0;
-  int best_count = 0;
-  for (const auto& [key, count] : load) {
-    if (count > best_count || (count == best_count && key < best_key)) {
-      best_count = count;
-      best_key = key;
-    }
-  }
-  if (best_count == 0) return false;
-  *as_a = static_cast<int>(best_key >> 32);
-  *as_b = static_cast<int>(best_key & 0xffffffffu);
-  return true;
+  accumulate_transit_load(*topo_, ranker_, sessions_, &load);
+  return busiest_adjacency_in(load, as_a, as_b);
 }
 
 }  // namespace cronets::service

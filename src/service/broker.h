@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/measure_model.h"
@@ -89,6 +90,48 @@ class BrokerMonitor {
   }
 };
 
+/// The minimal control-plane surface a session workload drives: pair
+/// registration, admission/release, and the event clock. Implemented by
+/// the single Broker and by the sharded multi-broker control plane, so
+/// workload generators (wkld::SessionChurn) and benches run unchanged
+/// against either.
+class ControlPlane {
+ public:
+  virtual ~ControlPlane() = default;
+  /// Register (or find) a (client, server) pair; returns its pair index
+  /// (global across shards for the sharded implementation).
+  virtual int register_pair(int src, int dst) = 0;
+  /// Admit a session for a registered pair at the current simulated time.
+  virtual std::uint64_t open_session(int pair_idx, double demand_bps) = 0;
+  virtual void close_session(std::uint64_t id) = 0;
+  /// Run the control plane up to and including simulated time `t`.
+  virtual void run_until(sim::Time t) = 0;
+  virtual sim::Time now() const = 0;
+  virtual sim::EventQueue& queue() = 0;
+  /// When the pair's ranking was last refreshed (negative: never probed) —
+  /// the staleness behind the next admission decision.
+  virtual sim::Time pair_last_probe(int pair_idx) const = 0;
+};
+
+/// Count live sessions of one ranker+session table whose pinned candidate
+/// crosses the AS adjacency (as_a, as_b). Shared by the single and the
+/// sharded broker (the latter sums over shards).
+int count_sessions_traversing(const PathRanker& ranker,
+                              const SessionManager& sessions, int as_a,
+                              int as_b);
+
+/// Accumulate per-transit-adjacency live-session counts into `load`
+/// (key = packed sorted AS pair). Used to pick failure-injection targets.
+void accumulate_transit_load(const topo::Internet& topo,
+                             const PathRanker& ranker,
+                             const SessionManager& sessions,
+                             std::unordered_map<std::uint64_t, int>* load);
+
+/// The most-loaded transit-to-transit adjacency in `load` (deterministic
+/// tie-break on the packed key). False when the map is empty/all-zero.
+bool busiest_adjacency_in(const std::unordered_map<std::uint64_t, int>& load,
+                          int* as_a, int* as_b);
+
 /// The CRONets overlay broker: an online control plane in simulated time.
 /// A ProbeScheduler refreshes per-pair rankings under a probe budget, a
 /// PathRanker smooths them (EWMA + hysteresis), a SessionManager admits
@@ -103,18 +146,18 @@ class BrokerMonitor {
 /// applied in pair-index order, and all session decisions run on the
 /// single-threaded event queue — so every decision is bitwise identical at
 /// any thread count and batch size.
-class Broker {
+class Broker : public ControlPlane {
  public:
   Broker(topo::Internet* topo, const core::ModelMeasurement* meter,
          sim::ThreadPool* pool, std::vector<int> overlay_eps,
          BrokerConfig cfg = {});
-  ~Broker();
+  ~Broker() override;
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
 
   /// Register a (client, server) pair ahead of traffic (idempotent).
-  int register_pair(int src, int dst);
+  int register_pair(int src, int dst) override;
 
   /// Probe every registered pair once at the current time (parallel) so
   /// the first admissions see measured rankings instead of the direct
@@ -122,23 +165,26 @@ class Broker {
   void warm_up();
 
   /// Admit a session for a registered pair at the current simulated time.
-  std::uint64_t open_session(int pair_idx, double demand_bps);
+  std::uint64_t open_session(int pair_idx, double demand_bps) override;
   /// Convenience: register-or-find the pair first (unprobed pairs pin to
   /// the direct path until their first probe).
   std::uint64_t open_session(int src, int dst, double demand_bps);
-  void close_session(std::uint64_t id);
+  void close_session(std::uint64_t id) override;
 
   /// Run the control plane (probe ticks, failovers, any caller-scheduled
   /// events) up to and including simulated time `t`.
-  void run_until(sim::Time t);
+  void run_until(sim::Time t) override;
 
   /// Attach (or detach with nullptr) a decision observer. Observation
   /// never feeds back into decisions, so the decision fingerprint is
   /// identical with and without a monitor.
   void set_monitor(BrokerMonitor* monitor) { monitor_ = monitor; }
 
-  sim::Time now() const { return now_; }
-  sim::EventQueue& queue() { return queue_; }
+  sim::Time now() const override { return now_; }
+  sim::EventQueue& queue() override { return queue_; }
+  sim::Time pair_last_probe(int pair_idx) const override {
+    return ranker_.pair(pair_idx).last_probe;
+  }
   const BrokerStats& stats() const { return stats_; }
   const PathRanker& ranker() const { return ranker_; }
   const SessionManager& sessions() const { return sessions_; }

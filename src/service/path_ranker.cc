@@ -102,6 +102,10 @@ bool PathRanker::apply_sample(int idx, const core::PairSample& s, sim::Time t) {
   ++p.probes;
   p.last_oracle_bps = oracle_raw;
   p.last_pinned_bps = pinned_raw >= 0.0 ? pinned_raw : 0.0;
+  if (p.last_oracle_bps > 0.0) {
+    p.regret_sum += (p.last_oracle_bps - p.last_pinned_bps) / p.last_oracle_bps;
+    ++p.regret_samples;
+  }
 
   if (cfg_.record_history) {
     p.history.direct.push_back(direct_raw);
@@ -165,6 +169,18 @@ void PathRanker::mark_adjacency_down(int as_a, int as_b,
     }
     if (hit && affected) affected->push_back(static_cast<int>(i));
   }
+}
+
+std::uint64_t PathRanker::partial_decision_fingerprint(
+    const std::vector<int>* local_to_global) const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    const std::uint64_t gid =
+        local_to_global ? static_cast<std::uint64_t>((*local_to_global)[i])
+                        : static_cast<std::uint64_t>(i);
+    sum += pair_decision_term(gid, pairs_[i]);
+  }
+  return sum;
 }
 
 void PathRanker::ranked_order(int idx, std::vector<int>* out) const {

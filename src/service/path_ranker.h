@@ -7,6 +7,7 @@
 #include "core/measure_model.h"
 #include "core/overlay.h"
 #include "core/selection.h"
+#include "sim/hash_rng.h"
 #include "sim/time.h"
 #include "topo/internet.h"
 
@@ -61,7 +62,51 @@ struct PairState {
   /// what the path pinned *before* the sample was applied scored.
   double last_oracle_bps = 0.0;
   double last_pinned_bps = 0.0;
+  /// Per-pair goodput regret, accumulated by apply_sample in probe-time
+  /// order. Unlike a broker-global running sum, a per-pair sum is a pure
+  /// function of the pair's own probe sequence, so it is bitwise identical
+  /// no matter how the pair space is partitioned across broker shards.
+  double regret_sum = 0.0;
+  std::uint64_t regret_samples = 0;
+  /// Order-sensitive hash chain over this pair's own control-plane
+  /// decisions (admissions and repins, stamped via stamp_pair_admit /
+  /// stamp_pair_repin). All of a pair's decisions happen on its owning
+  /// shard in simulated-time order, so the chain — unlike a broker-global
+  /// chain, whose cross-pair interleaving depends on the partitioning —
+  /// is invariant to shard count and thread count.
+  std::uint64_t decision_fp = 0;
+  std::uint64_t admit_seq = 0;  ///< admissions stamped into the chain
 };
+
+/// Fold one admission into the pair's decision chain.
+inline void stamp_pair_admit(PairState& p, int candidate) {
+  ++p.admit_seq;
+  p.decision_fp = sim::hash_combine(
+      p.decision_fp, sim::hash_combine(0xAD317ull,
+                                       sim::hash_combine(p.admit_seq,
+                                                         static_cast<std::uint64_t>(
+                                                             candidate))));
+}
+
+/// Fold one repin (post-probe or failover migration sweep) into the chain.
+inline void stamp_pair_repin(PairState& p, int moved) {
+  p.decision_fp = sim::hash_combine(
+      p.decision_fp,
+      sim::hash_combine(0x4E914ull,
+                        sim::hash_combine(static_cast<std::uint64_t>(moved),
+                                          static_cast<std::uint64_t>(p.best))));
+}
+
+/// One pair's contribution to a global decision fingerprint, keyed by its
+/// partition-independent global pair id. Contributions combine by wrapping
+/// 64-bit addition — commutative and associative — so per-shard partial
+/// sums merged in shard-index order equal the 1-shard sum bit for bit.
+inline std::uint64_t pair_decision_term(std::uint64_t global_id,
+                                        const PairState& p) {
+  return sim::splitmix64(sim::hash_combine(
+      sim::hash_combine(0x5da4d5ull, global_id),
+      sim::hash_combine(p.decision_fp, p.admit_seq)));
+}
 
 /// Does this router-level path cross the AS adjacency (as_a, as_b) in
 /// either direction?
@@ -108,6 +153,13 @@ class PathRanker {
   /// candidates by descending smoothed score (down candidates last).
   /// Writes indices into `out` (sized to candidates.size()).
   void ranked_order(int idx, std::vector<int>* out) const;
+
+  /// Sum of this ranker's pair_decision_term contributions, keyed by
+  /// `local_to_global` (identity when null). Per-shard partials merged in
+  /// shard-index order reproduce the unsharded sum bitwise — the global
+  /// decision fingerprint of the sharded control plane.
+  std::uint64_t partial_decision_fingerprint(
+      const std::vector<int>* local_to_global = nullptr) const;
 
  private:
   void build_candidates(PairState* p) const;

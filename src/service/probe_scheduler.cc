@@ -14,6 +14,24 @@ void ProbeScheduler::select(const PathRanker& ranker, sim::Time now,
       due_.emplace_back(never ? std::int64_t{-1} : p.last_probe.ns(), i);
     }
   }
+  take_budget(out);
+}
+
+void ProbeScheduler::select(const std::vector<sim::Time>& last_probe,
+                            sim::Time now, std::vector<int>* out) {
+  due_.clear();
+  for (int i = 0; i < static_cast<int>(last_probe.size()); ++i) {
+    const bool never = last_probe[static_cast<std::size_t>(i)].ns() < 0;
+    if (never || now - last_probe[static_cast<std::size_t>(i)] >= cfg_.interval) {
+      due_.emplace_back(
+          never ? std::int64_t{-1} : last_probe[static_cast<std::size_t>(i)].ns(),
+          i);
+    }
+  }
+  take_budget(out);
+}
+
+void ProbeScheduler::take_budget(std::vector<int>* out) {
   std::sort(due_.begin(), due_.end());
   std::size_t take = due_.size();
   if (cfg_.budget_per_tick > 0) {

@@ -36,12 +36,23 @@ class ProbeScheduler {
   /// (ties broken by pair index).
   void select(const PathRanker& ranker, sim::Time now, std::vector<int>* out);
 
+  /// Same selection over a flat staleness table indexed by pair id (the
+  /// sharded broker's global view: `last_probe[g]` for global pair g,
+  /// negative = never probed). Given the same staleness values this picks
+  /// the same pairs as the ranker overload, which is what keeps the global
+  /// probe schedule invariant to how pairs are partitioned across shards.
+  void select(const std::vector<sim::Time>& last_probe, sim::Time now,
+              std::vector<int>* out);
+
   /// Pairs currently overdue (due but beyond this tick's budget) — the
   /// scheduler's staleness backlog, reported by the bench.
   std::uint64_t backlog() const { return backlog_; }
   std::uint64_t selected() const { return selected_; }
 
  private:
+  /// Sort due_ most-stale-first and move up to the budget into `out`.
+  void take_budget(std::vector<int>* out);
+
   ProbeConfig cfg_;
   std::uint64_t backlog_ = 0;
   std::uint64_t selected_ = 0;

@@ -5,35 +5,55 @@
 
 namespace cronets::service {
 
-SessionManager::SessionManager(AdmissionConfig cfg,
-                               const std::vector<int>& overlay_eps)
-    : cfg_(cfg) {
+NicLedger::NicLedger(const std::vector<int>& overlay_eps) {
   for (int ep : overlay_eps) {
-    overlay_slot_.emplace(ep, static_cast<int>(used_bps_.size()));
-    used_bps_.push_back(0.0);
+    slot_.emplace(ep, static_cast<int>(used_.size()));
+    used_.push_back(0.0);
   }
 }
 
-double SessionManager::overlay_used_bps(int overlay_ep) const {
-  const auto it = overlay_slot_.find(overlay_ep);
-  return it == overlay_slot_.end() ? 0.0
-                                   : used_bps_[static_cast<std::size_t>(it->second)];
+void NicLedger::add(int overlay_ep, double bps) {
+  const auto it = slot_.find(overlay_ep);
+  assert(it != slot_.end());
+  double& used = used_[static_cast<std::size_t>(it->second)];
+  used += bps;
+  peak_used_bps_ = std::max(peak_used_bps_, used);
+}
+
+void NicLedger::sub(int overlay_ep, double bps) {
+  const auto it = slot_.find(overlay_ep);
+  assert(it != slot_.end());
+  used_[static_cast<std::size_t>(it->second)] -= bps;
+}
+
+double NicLedger::used_bps(int overlay_ep) const {
+  const auto it = slot_.find(overlay_ep);
+  return it == slot_.end() ? 0.0 : used_[static_cast<std::size_t>(it->second)];
+}
+
+double NicLedger::total_used_bps() const {
+  double sum = 0.0;
+  for (double u : used_) sum += u;
+  return sum;
+}
+
+SessionManager::SessionManager(AdmissionConfig cfg,
+                               const std::vector<int>& overlay_eps,
+                               NicLedger* shared_nic, std::uint64_t id_tag)
+    : cfg_(cfg), ledger_(overlay_eps), shared_(shared_nic), id_tag_(id_tag) {
+  assert((id_tag & ~(0xffull << 56)) == 0 && "tag lives in the top byte");
 }
 
 void SessionManager::reserve(const Candidate& c, double demand_bps) {
   if (c.kind != core::PathKind::kSplitOverlay) return;
-  const auto it = overlay_slot_.find(c.overlay_ep);
-  assert(it != overlay_slot_.end());
-  double& used = used_bps_[static_cast<std::size_t>(it->second)];
-  used += demand_bps;
-  peak_used_bps_ = std::max(peak_used_bps_, used);
+  ledger_.add(c.overlay_ep, demand_bps);
+  if (shared_) shared_->add(c.overlay_ep, demand_bps);
 }
 
 void SessionManager::unreserve(const Candidate& c, double demand_bps) {
   if (c.kind != core::PathKind::kSplitOverlay) return;
-  const auto it = overlay_slot_.find(c.overlay_ep);
-  assert(it != overlay_slot_.end());
-  used_bps_[static_cast<std::size_t>(it->second)] -= demand_bps;
+  ledger_.sub(c.overlay_ep, demand_bps);
+  if (shared_) shared_->sub(c.overlay_ep, demand_bps);
 }
 
 int SessionManager::pick_candidate(PathRanker& ranker, int pair_idx,
@@ -53,10 +73,9 @@ int SessionManager::pick_candidate(PathRanker& ranker, int pair_idx,
       continue;  // direct is down: prefer a live overlay, fall back below
     }
     if (c.down) continue;
-    const auto it = overlay_slot_.find(c.overlay_ep);
-    const double used =
-        it == overlay_slot_.end() ? 0.0
-                                  : used_bps_[static_cast<std::size_t>(it->second)];
+    // Capacity check against the authority ledger: the shared global one
+    // when sharded (NICs are physical), this table's own otherwise.
+    const double used = (shared_ ? *shared_ : ledger_).used_bps(c.overlay_ep);
     if (used + demand_bps <= cfg_.nic_capacity_bps) {
       if (denied) ++overlay_denied_;
       return ci;
@@ -96,7 +115,7 @@ std::uint64_t SessionManager::admit(PathRanker& ranker, int pair_idx,
 
 bool SessionManager::live(std::uint64_t id) const {
   const std::uint32_t slot = slot_of(id);
-  return slot < slots_.size() && slots_[slot].gen == gen_of(id) &&
+  return slot < slots_.size() && (slots_[slot].gen & kGenMask) == gen_of(id) &&
          (slots_[slot].gen & 1u);
 }
 

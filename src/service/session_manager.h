@@ -18,6 +18,31 @@ struct AdmissionConfig {
   double nic_capacity_bps = 100e6;
 };
 
+/// Per-overlay-VM NIC reservation book. A plain value type so a session
+/// table can keep its own (per-shard accounting) while admission checks go
+/// through a shared global instance: the overlay VMs are physical — their
+/// NICs don't multiply when the control plane is sharded. All mutation
+/// happens on the single-threaded control plane.
+class NicLedger {
+ public:
+  NicLedger() = default;
+  explicit NicLedger(const std::vector<int>& overlay_eps);
+
+  void add(int overlay_ep, double bps);
+  void sub(int overlay_ep, double bps);
+  /// Current reserved bandwidth on one overlay VM's NIC (0 for unknown).
+  double used_bps(int overlay_ep) const;
+  /// Highest reservation ever observed on any overlay NIC.
+  double peak_used_bps() const { return peak_used_bps_; }
+  /// Sum of current reservations across every overlay NIC.
+  double total_used_bps() const;
+
+ private:
+  std::unordered_map<int, int> slot_;  // overlay ep -> used_ index
+  std::vector<double> used_;
+  double peak_used_bps_ = 0.0;
+};
+
 /// One long-lived client session pinned to a candidate path of its pair.
 struct Session {
   int pair = -1;
@@ -34,9 +59,18 @@ struct Session {
 /// admission path.
 class SessionManager {
  public:
-  SessionManager(AdmissionConfig cfg, const std::vector<int>& overlay_eps);
+  /// `shared_nic`, when given, is the capacity authority admission checks
+  /// and reservations go through *in addition to* this table's own ledger
+  /// — the sharded broker hands every shard the same global ledger so NIC
+  /// capacity stays physical while per-shard ledgers keep the accounting
+  /// split (they sum to the shared ledger at all times). `id_tag` is OR'd
+  /// into the top byte of every session id (shard routing; 0 = untagged).
+  SessionManager(AdmissionConfig cfg, const std::vector<int>& overlay_eps,
+                 NicLedger* shared_nic = nullptr, std::uint64_t id_tag = 0);
 
   static constexpr std::uint64_t kInvalidSession = 0;
+  /// Top-byte tag a session id was minted with (0 for untagged tables).
+  static int id_tag_of(std::uint64_t id) { return static_cast<int>(id >> 56); }
 
   /// Admit a session onto the best admissible candidate of its pair
   /// (ranked order, skipping down candidates and full overlay NICs; the
@@ -58,10 +92,15 @@ class SessionManager {
   std::size_t active() const { return active_; }
 
   /// Current reserved bandwidth on one overlay VM's NIC (0 for unknown).
-  double overlay_used_bps(int overlay_ep) const;
+  /// This is the table's *own* accounting — per-shard usage when a shared
+  /// ledger is attached, total usage otherwise.
+  double overlay_used_bps(int overlay_ep) const {
+    return ledger_.used_bps(overlay_ep);
+  }
   /// Highest reservation ever observed on any overlay NIC (capacity
   /// invariant: never exceeds the cap).
-  double peak_overlay_used_bps() const { return peak_used_bps_; }
+  double peak_overlay_used_bps() const { return ledger_.peak_used_bps(); }
+  const NicLedger& ledger() const { return ledger_; }
   const AdmissionConfig& config() const { return cfg_; }
 
   /// Number of admissions/migrations that wanted an overlay candidate but
@@ -81,14 +120,20 @@ class SessionManager {
   }
 
  private:
+  /// Id layout: [tag:8][gen:24][slot+1:32]. The tag routes a session back
+  /// to its owning shard; the generation (masked to 24 bits — a slot must
+  /// be reused ~8M times before a stale handle aliases) guards slot reuse.
+  static constexpr std::uint32_t kGenMask = 0x00ffffffu;
   std::uint64_t id_of(std::uint32_t slot) const {
-    return (static_cast<std::uint64_t>(slots_[slot].gen) << 32) | (slot + 1);
+    return id_tag_ |
+           (static_cast<std::uint64_t>(slots_[slot].gen & kGenMask) << 32) |
+           (slot + 1);
   }
   static std::uint32_t slot_of(std::uint64_t id) {
     return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
   }
   static std::uint32_t gen_of(std::uint64_t id) {
-    return static_cast<std::uint32_t>(id >> 32);
+    return static_cast<std::uint32_t>(id >> 32) & kGenMask;
   }
 
   /// First admissible candidate in ranked order for `demand`.
@@ -98,9 +143,9 @@ class SessionManager {
   void detach_from_pair(PairState& p, Session& s);
 
   AdmissionConfig cfg_;
-  std::unordered_map<int, int> overlay_slot_;  // overlay ep -> used_ index
-  std::vector<double> used_bps_;
-  double peak_used_bps_ = 0.0;
+  NicLedger ledger_;            // this table's own (per-shard) accounting
+  NicLedger* shared_ = nullptr; // capacity authority when sharded
+  std::uint64_t id_tag_ = 0;
   std::vector<Session> slots_;
   std::vector<std::uint32_t> free_;
   std::size_t active_ = 0;

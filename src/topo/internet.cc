@@ -439,6 +439,13 @@ bool Internet::set_adjacency_up(int as_a, int as_b, bool up) {
   return found;
 }
 
+bool Internet::adjacency_up(int as_a, int as_b) const {
+  for (const auto& adj : ases_[static_cast<std::size_t>(as_a)].adj) {
+    if (adj.nbr_as == as_b) return adj.up;
+  }
+  return false;
+}
+
 int Internet::dc_endpoint(const std::string& dc_name) const {
   for (std::size_t i = 0; i < cloud_.dcs.size(); ++i) {
     if (cloud_.dcs[i].name == dc_name) return dc_endpoints_[i];

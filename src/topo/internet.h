@@ -249,6 +249,10 @@ class Internet {
   /// Returns false if the ASes are not adjacent.
   bool set_adjacency_up(int as_a, int as_b, bool up);
 
+  /// Is the BGP adjacency between two ASes currently up? False when the
+  /// ASes are not adjacent at all.
+  bool adjacency_up(int as_a, int as_b) const;
+
   sim::Rng& rng() { return rng_; }
   const TopologyParams& params() const { return params_; }
   const CloudParams& cloud() const { return cloud_; }

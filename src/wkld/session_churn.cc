@@ -7,8 +7,9 @@
 
 namespace cronets::wkld {
 
-SessionChurn::SessionChurn(service::Broker* broker, std::vector<int> clients,
-                           std::vector<int> servers, SessionChurnParams params)
+SessionChurn::SessionChurn(service::ControlPlane* broker,
+                           std::vector<int> clients, std::vector<int> servers,
+                           SessionChurnParams params)
     : broker_(broker),
       clients_(std::move(clients)),
       servers_(std::move(servers)),
@@ -51,10 +52,14 @@ void SessionChurn::arrive() {
   const int idx = pair_idx_[pair];
 
   std::uint64_t id;
-  if (params_.record_latency) {
-    const auto& p = broker_->ranker().pair(idx);
+  const bool sample =
+      params_.record_latency &&
+      (params_.latency_sample_every <= 1 ||
+       stats_.arrivals % params_.latency_sample_every == 0);
+  if (sample) {
+    const sim::Time last_probe = broker_->pair_last_probe(idx);
     const double staleness_s =
-        p.last_probe.ns() < 0 ? -1.0 : (broker_->now() - p.last_probe).to_seconds();
+        last_probe.ns() < 0 ? -1.0 : (broker_->now() - last_probe).to_seconds();
     const auto t0 = std::chrono::steady_clock::now();
     id = broker_->open_session(idx, demand);
     const auto t1 = std::chrono::steady_clock::now();

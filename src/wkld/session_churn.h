@@ -37,6 +37,11 @@ struct SessionChurnParams {
   /// Record per-admission wall-clock latency and ranking staleness (the
   /// bench's p50/p99 decision-latency source).
   bool record_latency = false;
+  /// Record every Nth admission only (>= 1). At 10^7-session scale a
+  /// full per-admission log costs GBs; sampling keeps the percentile
+  /// estimate while bounding memory. Deterministic: keyed on the arrival
+  /// counter, not on wall-clock.
+  std::uint64_t latency_sample_every = 1;
 };
 
 struct SessionChurnStats {
@@ -51,17 +56,19 @@ struct SessionChurnStats {
   std::vector<float> admit_staleness_s;
 };
 
-/// Drives a service::Broker with session churn over fixed client/server
+/// Drives a service::ControlPlane — the single Broker or the sharded
+/// multi-broker plane — with session churn over fixed client/server
 /// populations. All randomness comes from one seeded serial stream drawn
 /// on the (single-threaded) event queue, so the workload is deterministic
-/// and independent of the broker's probe parallelism.
+/// and independent of the control plane's probe parallelism and shard
+/// count.
 class SessionChurn {
  public:
-  SessionChurn(service::Broker* broker, std::vector<int> clients,
+  SessionChurn(service::ControlPlane* broker, std::vector<int> clients,
                std::vector<int> servers, SessionChurnParams params);
 
-  /// Register all (client, server) pairs with the broker and schedule the
-  /// first arrival. Call before Broker::run_until.
+  /// Register all (client, server) pairs with the control plane and
+  /// schedule the first arrival. Call before run_until.
   void start();
 
   const SessionChurnStats& stats() const { return stats_; }
@@ -72,7 +79,7 @@ class SessionChurn {
   void schedule_next_arrival();
   void arrive();
 
-  service::Broker* broker_;
+  service::ControlPlane* broker_;
   std::vector<int> clients_;
   std::vector<int> servers_;
   SessionChurnParams params_;

@@ -113,14 +113,6 @@ TEST(ChaosScenario, PureFunctionOfSeedsAndSortedByBegin) {
   EXPECT_EQ(static_cast<int>(flapped.size()), p.link_flaps);
 }
 
-bool adjacency_up(const topo::Internet& net, int as_a, int as_b) {
-  for (const auto& adj : net.ases()[as_a].adj) {
-    if (adj.nbr_as == as_b) return adj.up;
-  }
-  ADD_FAILURE() << "no adjacency AS" << as_a << "-AS" << as_b;
-  return false;
-}
-
 /// Records world state at each transition; the injector invokes observers
 /// after mutations apply, so begin must already see the failure in place.
 struct StateProbe : FaultObserver {
@@ -129,10 +121,10 @@ struct StateProbe : FaultObserver {
     begins.push_back(f.index);
     EXPECT_EQ(t, f.begin);
     if (f.kind == FaultKind::kLinkFlap) {
-      EXPECT_FALSE(adjacency_up(*net, f.as_a, f.as_b));
+      EXPECT_FALSE(net->adjacency_up(f.as_a, f.as_b));
     } else if (f.kind == FaultKind::kDcOutage) {
       EXPECT_FALSE(f.downed.empty());
-      for (const auto& [a, b] : f.downed) EXPECT_FALSE(adjacency_up(*net, a, b));
+      for (const auto& [a, b] : f.downed) EXPECT_FALSE(net->adjacency_up(a, b));
     } else {
       EXPECT_FALSE(f.events.empty());
     }
@@ -141,9 +133,9 @@ struct StateProbe : FaultObserver {
     ends.push_back(f.index);
     EXPECT_EQ(t, f.end);
     if (f.kind == FaultKind::kLinkFlap) {
-      EXPECT_TRUE(adjacency_up(*net, f.as_a, f.as_b));
+      EXPECT_TRUE(net->adjacency_up(f.as_a, f.as_b));
     } else if (f.kind == FaultKind::kDcOutage) {
-      for (const auto& [a, b] : f.downed) EXPECT_TRUE(adjacency_up(*net, a, b));
+      for (const auto& [a, b] : f.downed) EXPECT_TRUE(net->adjacency_up(a, b));
     }
   }
   topo::Internet* net;
