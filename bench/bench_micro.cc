@@ -7,11 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
 #include <chrono>
 
 #include "bench_util.h"
 #include "model/batch_sampler.h"
+#include "model/simd/dispatch.h"
 #include "net/network.h"
+#include "sim/hash_rng.h"
 #include "sim/simulator.h"
 #include "topo/internet.h"
 #include "transport/apps.h"
@@ -347,7 +350,9 @@ int main(int argc, char** argv) {
   const double sample_scalar_s =
       std::chrono::duration<double>(clock::now() - sample_scalar_t0).count();
 
-  model::BatchSampler ksampler(&world.flow());
+  // Scalar-ISA batched sampler: isolates the SoA batching win so the
+  // batch_* extras keep their pre-vectorization meaning.
+  model::BatchSampler ksampler(&world.flow(), model::simd::Level::kScalar);
   ksampler.begin_batch();
   std::vector<int> khandles;
   for (const auto& p : kpaths) khandles.push_back(ksampler.intern(p));
@@ -361,6 +366,22 @@ int main(int argc, char** argv) {
   const double sample_batch_s =
       std::chrono::duration<double>(clock::now() - sample_batch_t0).count();
 
+  // The dispatched sampler (CRONETS_SIMD: AVX2/NEON where available):
+  // batching + vectorized AR(1) innovations + vectorized PFTK.
+  model::BatchSampler vsampler(&world.flow());
+  vsampler.begin_batch();
+  std::vector<int> vhandles;
+  for (const auto& p : kpaths) vhandles.push_back(vsampler.intern(p));
+  std::vector<model::PathMetrics> vout(vhandles.size());
+  const auto sample_simd_t0 = clock::now();
+  for (int rep = 0; rep < kSampleReps; ++rep) {
+    const sim::Time at = sim::Time::hours(3) + sim::Time::minutes(rep);
+    vsampler.sample_batch(vhandles.data(), vhandles.size(), at, vout.data());
+    kernel_sink += vout[0].rtt_ms;
+  }
+  const double sample_simd_s =
+      std::chrono::duration<double>(clock::now() - sample_simd_t0).count();
+
   const double paths_per_pair =
       1.0 + 2.0 * static_cast<double>(overlays.size());
   const double sample_pair_sweeps = static_cast<double>(kpaths.size()) *
@@ -371,6 +392,34 @@ int main(int argc, char** argv) {
                 sample_batch_s > 0 ? sample_pair_sweeps / sample_batch_s : 0.0);
   run.add_extra("batch_speedup",
                 sample_batch_s > 0 ? sample_scalar_s / sample_batch_s : 0.0);
+  run.add_extra("simd_pairs_per_s",
+                sample_simd_s > 0 ? sample_pair_sweeps / sample_simd_s : 0.0);
+  run.add_extra("simd_speedup",
+                sample_simd_s > 0 ? sample_scalar_s / sample_simd_s : 0.0);
+
+  // Dispatched == scalar ISA, bit for bit, and an order-sensitive
+  // fingerprint over the dispatched sweep (identical under any
+  // CRONETS_SIMD setting — the baseline the CI determinism legs diff).
+  int simd_eq_scalar = 1;
+  std::uint64_t sample_fp = 0;
+  for (const sim::Time at : {sim::Time::hours(5) + sim::Time::minutes(11),
+                             sim::Time::hours(29) + sim::Time::seconds(3)}) {
+    ksampler.sample_batch(khandles.data(), khandles.size(), at, kout.data());
+    vsampler.sample_batch(vhandles.data(), vhandles.size(), at, vout.data());
+    for (std::size_t i = 0; i < kout.size(); ++i) {
+      if (kout[i].rtt_ms != vout[i].rtt_ms || kout[i].loss != vout[i].loss ||
+          kout[i].residual_bps != vout[i].residual_bps ||
+          kout[i].capacity_bps != vout[i].capacity_bps) {
+        simd_eq_scalar = 0;
+      }
+      sample_fp = sim::hash_combine(
+          sample_fp,
+          sim::hash_combine(std::bit_cast<std::uint64_t>(vout[i].rtt_ms),
+                            sim::hash_combine(
+                                std::bit_cast<std::uint64_t>(vout[i].residual_bps),
+                                std::bit_cast<std::uint64_t>(vout[i].loss))));
+    }
+  }
 
   // --- scalar vs batched end-to-end measure() ----------------------------
   // Same pair sweep through measure() and measure_batch(). Both entry
@@ -473,6 +522,10 @@ int main(int argc, char** argv) {
        static_cast<double>(fast_eq_generic)},
       {"micro: batch sample == scalar sample (1=yes)", 1.0,
        static_cast<double>(batch_eq_scalar)},
+      {"micro: simd sample == scalar sample (1=yes)", 1.0,
+       static_cast<double>(simd_eq_scalar)},
+      {"micro: sweep sample fingerprint (low 32 bits)", -1.0,
+       static_cast<double>(sample_fp & 0xffffffffu)},
       {"micro: event-queue churn order+count ok (1=yes)", 1.0,
        static_cast<double>(event_queue_ok())},
   });

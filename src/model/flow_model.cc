@@ -31,6 +31,18 @@ struct FieldMemoEntry {
   std::int64_t t_ns = 0;
   double u = 0.0;
   bool valid = false;
+  // Hoisted AR(1) truncation constants for the scalar utilization() path —
+  // a pure function of (model, epoch, stream), so warm probes skip the
+  // log/ceil horizon derivation and the weight-norm loop. Stamped
+  // separately from the value above: the value goes stale every timestep,
+  // the constants only on model/topology change.
+  std::uint64_t cmodel = 0;
+  std::uint64_t cepoch = 0;
+  bool consts_valid = false;
+  double a = 0.0;
+  int horizon = 1;
+  double stationary_sd = 0.0;
+  double sqrt_w2 = 1.0;
 };
 
 std::unordered_map<std::uint64_t, FieldMemoEntry>& field_memo() {
@@ -61,25 +73,21 @@ void pftk_throughput_batch(std::size_t n, const double* rtt_ms,
                            const double* loss, const double* residual_bps,
                            const double* capacity_bps, const double* rwnd_bytes,
                            const TcpModelParams& p, double* out_bps) {
+  pftk_throughput_batch(simd::active_level(), n, rtt_ms, loss, residual_bps,
+                        capacity_bps, rwnd_bytes, p, out_bps);
+}
+
+void pftk_throughput_batch(simd::Level level, std::size_t n,
+                           const double* rtt_ms, const double* loss,
+                           const double* residual_bps,
+                           const double* capacity_bps, const double* rwnd_bytes,
+                           const TcpModelParams& p, double* out_bps) {
   // Element-wise mirror of pftk_throughput_bps with the rwnd override
-  // applied per element; every expression keeps the scalar shape so the
-  // results are bitwise identical.
-  for (std::size_t i = 0; i < n; ++i) {
-    const double rtt = std::max(rtt_ms[i] / 1e3, 1e-4);
-    double loss_bound_Bps = 1e18;
-    if (loss[i] > 1e-9) {
-      const double bp = p.b * loss[i];
-      const double t0 = std::max(0.2, 2.0 * rtt);  // RTO estimate
-      const double denom =
-          rtt * std::sqrt(2.0 * bp / 3.0) +
-          t0 * std::min(1.0, 3.0 * std::sqrt(3.0 * bp / 8.0)) * loss[i] *
-              (1.0 + 32.0 * loss[i] * loss[i]);
-      loss_bound_Bps = p.aggressiveness * p.mss / denom;
-    }
-    const double wnd_bound_Bps = rwnd_bytes[i] / rtt;
-    const double cap_Bps = std::min(residual_bps[i], capacity_bps[i]) / 8.0;
-    out_bps[i] = 8.0 * std::min({loss_bound_Bps, wnd_bound_Bps, cap_Bps});
-  }
+  // applied per element; every kernel level keeps the scalar expression
+  // shape (the loss branch becomes a lane blend), so the results are
+  // bitwise identical.
+  simd::pftk_batch(level, n, rtt_ms, loss, residual_bps, capacity_bps,
+                   rwnd_bytes, p, out_bps);
 }
 
 double FlowModel::utilization(int link_id, bool forward, Time t) const {
@@ -94,25 +102,45 @@ double FlowModel::utilization(int link_id, bool forward, Time t) const {
   // innovations, reproducing the AR(1) autocorrelation a^|d| — but unlike
   // the recursive form, any (link, direction, t) can be evaluated
   // independently, in any order, on any thread, with identical bits.
-  const double a = std::clamp(1.0 - bg.theta, 0.0, 0.999);
   const std::int64_t n = t.ns() / std::max<std::int64_t>(bg.epoch.ns(), 1);
   const std::uint64_t stream = sim::hash_combine(
       seed_, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(link_id)) << 1) |
                  (forward ? 1u : 0u));
 
-  int horizon = 1;  // smallest J with a^J <= 1e-3 (cap keeps cost bounded)
-  if (a > 1e-3) {
-    horizon = std::min(64, static_cast<int>(std::ceil(-6.907755 / std::log(a))));
+  const std::uint64_t epoch = topo_->mutation_epoch();
+  FieldMemoEntry& memo = field_memo()[stream];
+  if (memo.valid && memo.model == model_tag_ && memo.epoch == epoch &&
+      memo.t_ns == t.ns()) {
+    return memo.u;
   }
-  double acc = 0.0, w = 1.0, w2_sum = 0.0;
-  for (int j = 0; j < horizon; ++j) {
+  if (!(memo.consts_valid && memo.cmodel == model_tag_ && memo.cepoch == epoch)) {
+    // Cold path: derive the truncation constants once per (model, epoch).
+    // Same expressions as build_aggregates, so warm hits change no bits.
+    memo.a = std::clamp(1.0 - bg.theta, 0.0, 0.999);
+    memo.horizon = 1;  // smallest J with a^J <= 1e-3 (cap keeps cost bounded)
+    if (memo.a > 1e-3) {
+      memo.horizon =
+          std::min(64, static_cast<int>(std::ceil(-6.907755 / std::log(memo.a))));
+    }
+    double w = 1.0, w2_sum = 0.0;
+    for (int j = 0; j < memo.horizon; ++j) {
+      w2_sum += w * w;
+      w *= memo.a;
+    }
+    memo.stationary_sd =
+        bg.sigma / std::sqrt(std::max(1e-9, 1.0 - memo.a * memo.a));
+    memo.sqrt_w2 = std::sqrt(w2_sum);
+    memo.cmodel = model_tag_;
+    memo.cepoch = epoch;
+    memo.consts_valid = true;
+  }
+  double acc = 0.0, w = 1.0;
+  for (int j = 0; j < memo.horizon; ++j) {
     acc += w * sim::hash_centered(
                    sim::hash_combine(stream, static_cast<std::uint64_t>(n - j)));
-    w2_sum += w * w;
-    w *= a;
+    w *= memo.a;
   }
-  const double stationary_sd = bg.sigma / std::sqrt(std::max(1e-9, 1.0 - a * a));
-  double u = bg.mean_util + acc * stationary_sd / std::sqrt(w2_sum);
+  double u = bg.mean_util + acc * memo.stationary_sd / memo.sqrt_w2;
   u = std::clamp(u, 0.0, 0.98);
 
   double out = u + net::diurnal_component(bg, t);
@@ -122,7 +150,13 @@ double FlowModel::utilization(int link_id, bool forward, Time t) const {
       out += ev.util_boost;
     }
   }
-  return std::clamp(out, 0.0, 0.98);
+  out = std::clamp(out, 0.0, 0.98);
+  memo.model = model_tag_;
+  memo.epoch = epoch;
+  memo.t_ns = t.ns();
+  memo.u = out;
+  memo.valid = true;
+  return out;
 }
 
 double FlowModel::link_loss(int link_id, bool forward, Time t) const {
@@ -267,7 +301,13 @@ double FlowModel::field_utilization(const LinkField& f, Time t) const {
     if (t >= ev.from && t < ev.until) out += ev.util_boost;
   }
   out = std::clamp(out, 0.0, 0.98);
-  memo = FieldMemoEntry{model_tag_, epoch, t.ns(), out, true};
+  // Field-wise write: the entry's hoisted utilization() constants (stamped
+  // independently) survive the value refresh.
+  memo.model = model_tag_;
+  memo.epoch = epoch;
+  memo.t_ns = t.ns();
+  memo.u = out;
+  memo.valid = true;
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "model/simd/dispatch.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 #include "topo/internet.h"
@@ -43,10 +44,20 @@ double pftk_throughput_bps(double rtt_ms, double loss, double residual_bps,
 /// Flat-loop PFTK over parallel arrays: out_bps[i] is bitwise identical to
 /// pftk_throughput_bps(rtt_ms[i], ..., p') where p' is `p` with rwnd_bytes
 /// replaced by rwnd_bytes[i]. The batched measurement path hoists every
-/// deterministic throughput evaluation of a probe batch into one call so
-/// the compiler sees a branch-light loop over contiguous inputs.
+/// deterministic throughput evaluation of a probe batch into one call;
+/// the loop dispatches to the vectorized kernels in model/simd/ at the
+/// process-wide simd::active_level() (CRONETS_SIMD), every level bitwise
+/// identical to the scalar reference.
 void pftk_throughput_batch(std::size_t n, const double* rtt_ms,
                            const double* loss, const double* residual_bps,
+                           const double* capacity_bps, const double* rwnd_bytes,
+                           const TcpModelParams& p, double* out_bps);
+
+/// Explicit-level overload (benches/tests comparing scalar vs SIMD in one
+/// process; same bits at every level).
+void pftk_throughput_batch(simd::Level level, std::size_t n,
+                           const double* rtt_ms, const double* loss,
+                           const double* residual_bps,
                            const double* capacity_bps, const double* rwnd_bytes,
                            const TcpModelParams& p, double* out_bps);
 

@@ -1,0 +1,53 @@
+#pragma once
+
+// Internal per-level kernel entry points behind simd/dispatch.h. The AVX2
+// definitions live in a translation unit compiled with -mavx2 (and nothing
+// stronger: FMA contraction would change the bits); they are only declared
+// here and only called after a runtime CPUID check, so the rest of the
+// binary carries no AVX2 instructions. The NEON definitions exist only on
+// aarch64, where NEON is architecturally guaranteed.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cronets::model {
+struct TcpModelParams;
+}
+
+namespace cronets::model::simd::detail {
+
+void ar1_innovations_scalar(std::uint64_t stream, std::int64_t n, int horizon,
+                            double* innov);
+void ar1_weighted_sums_scalar(int nf, const std::uint64_t* streams,
+                              const std::int64_t* ns, const int* horizons,
+                              const double* wt, int maxh, double* acc);
+void pftk_batch_scalar(std::size_t n, const double* rtt_ms, const double* loss,
+                       const double* residual_bps, const double* capacity_bps,
+                       const double* rwnd_bytes, const TcpModelParams& p,
+                       double* out_bps);
+
+#if defined(__x86_64__) || defined(_M_X64)
+void ar1_innovations_avx2(std::uint64_t stream, std::int64_t n, int horizon,
+                          double* innov);
+void ar1_weighted_sums_avx2(int nf, const std::uint64_t* streams,
+                            const std::int64_t* ns, const int* horizons,
+                            const double* wt, int maxh, double* acc);
+void pftk_batch_avx2(std::size_t n, const double* rtt_ms, const double* loss,
+                     const double* residual_bps, const double* capacity_bps,
+                     const double* rwnd_bytes, const TcpModelParams& p,
+                     double* out_bps);
+#endif
+
+#if defined(__aarch64__)
+void ar1_innovations_neon(std::uint64_t stream, std::int64_t n, int horizon,
+                          double* innov);
+void ar1_weighted_sums_neon(int nf, const std::uint64_t* streams,
+                            const std::int64_t* ns, const int* horizons,
+                            const double* wt, int maxh, double* acc);
+void pftk_batch_neon(std::size_t n, const double* rtt_ms, const double* loss,
+                     const double* residual_bps, const double* capacity_bps,
+                     const double* rwnd_bytes, const TcpModelParams& p,
+                     double* out_bps);
+#endif
+
+}  // namespace cronets::model::simd::detail

@@ -1,0 +1,64 @@
+#include <algorithm>
+#include <cmath>
+
+#include "model/flow_model.h"
+#include "model/simd/kernels.h"
+#include "sim/hash_rng.h"
+
+namespace cronets::model::simd::detail {
+
+// Portable reference kernels: the exact loops BatchSampler::sample_batch
+// and model::pftk_throughput_batch ran before the SIMD split. Every wider
+// level is pinned bitwise against these (tests/simd_test.cc and the
+// bench_micro "simd sample == scalar sample" row).
+
+void ar1_innovations_scalar(std::uint64_t stream, std::int64_t n, int horizon,
+                            double* innov) {
+  std::uint64_t keys[64];
+  for (int j = 0; j < horizon; ++j) {
+    keys[j] = sim::hash_combine(stream, static_cast<std::uint64_t>(n - j));
+  }
+  for (int j = 0; j < horizon; ++j) {
+    innov[j] = sim::hash_centered(keys[j]);
+  }
+}
+
+void ar1_weighted_sums_scalar(int nf, const std::uint64_t* streams,
+                              const std::int64_t* ns, const int* horizons,
+                              const double* wt, int maxh, double* acc) {
+  (void)maxh;
+  for (int k = 0; k < nf; ++k) {
+    double innov[64];
+    ar1_innovations_scalar(streams[k], ns[k], horizons[k], innov);
+    // Strict j-order fold; wt rows hold this lane's weight at stride 4.
+    double a = 0.0;
+    for (int j = 0; j < horizons[k]; ++j) {
+      a += wt[4 * j + k] * innov[j];
+    }
+    acc[k] = a;
+  }
+}
+
+void pftk_batch_scalar(std::size_t n, const double* rtt_ms, const double* loss,
+                       const double* residual_bps, const double* capacity_bps,
+                       const double* rwnd_bytes, const TcpModelParams& p,
+                       double* out_bps) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rtt = std::max(rtt_ms[i] / 1e3, 1e-4);
+    double loss_bound_Bps = 1e18;
+    if (loss[i] > 1e-9) {
+      const double bp = p.b * loss[i];
+      const double t0 = std::max(0.2, 2.0 * rtt);  // RTO estimate
+      const double denom =
+          rtt * std::sqrt(2.0 * bp / 3.0) +
+          t0 * std::min(1.0, 3.0 * std::sqrt(3.0 * bp / 8.0)) * loss[i] *
+              (1.0 + 32.0 * loss[i] * loss[i]);
+      loss_bound_Bps = p.aggressiveness * p.mss / denom;
+    }
+    const double wnd_bound_Bps = rwnd_bytes[i] / rtt;
+    const double cap_Bps = std::min(residual_bps[i], capacity_bps[i]) / 8.0;
+    out_bps[i] = 8.0 * std::min({loss_bound_Bps, wnd_bound_Bps, cap_Bps});
+  }
+}
+
+}  // namespace cronets::model::simd::detail

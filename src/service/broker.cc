@@ -101,7 +101,9 @@ Broker::~Broker() {
 }
 
 int Broker::register_pair(int src, int dst) {
+  const std::size_t before = ranker_.size();
   const int idx = ranker_.add_pair(src, dst);
+  if (ranker_.size() > before) scheduler_.track_pair(idx);
   ranker_.pair(idx).route_epoch = route_epoch_;
   // Registration (setup phase) is the only place the probe buffers may
   // grow: any later sweep — budgeted tick, warm-up, failover — measures at
@@ -207,6 +209,7 @@ void Broker::apply_probe(int pair_idx, const core::PairSample& s, sim::Time t,
   }
 
   const bool changed = ranker_.apply_sample(pair_idx, s, t);
+  scheduler_.on_probed(pair_idx, t);
   // Goodput regret vs. the per-sample oracle: what the freshest possible
   // selector would have scored at this instant vs. what the previously
   // pinned path scored (the ranker evaluates the pin *before* the sample
@@ -235,7 +238,17 @@ void Broker::apply_probe(int pair_idx, const core::PairSample& s, sim::Time t,
 
 void Broker::probe_tick() {
   probe_scratch_.clear();
-  scheduler_.select(ranker_, now_, &probe_scratch_);
+  if (cfg_.probe.incremental) {
+    scheduler_.select_incremental(now_, &probe_scratch_);
+  } else {
+    scheduler_.select(ranker_, now_, &probe_scratch_);
+  }
+  // Sweep cost: the incremental scheduler examined only the due prefix
+  // (scheduler_.last_scan()); the stateless scan examined every pair.
+  last_sweep_touched_ =
+      cfg_.probe.incremental ? scheduler_.last_scan() : ranker_.size();
+  ++stats_.probe_ticks;
+  stats_.sweep_pairs_touched += last_sweep_touched_;
   if (!probe_scratch_.empty()) {
     measure_pairs(probe_scratch_, now_);
     for (std::size_t i = 0; i < probe_scratch_.size(); ++i) {
@@ -259,6 +272,7 @@ void Broker::on_mutation(const topo::Mutation& m) {
     for (int i = 0; i < static_cast<int>(ranker_.size()); ++i) {
       ranker_.pair(i).last_probe = sim::Time{-1};
     }
+    scheduler_.age_all();
     return;
   }
   // Failure: find every pair with a candidate crossing the dead adjacency,

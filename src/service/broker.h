@@ -40,6 +40,12 @@ struct BrokerStats {
   std::uint64_t admitted_via_overlay = 0;
   std::uint64_t migrations = 0;
   std::uint64_t probes = 0;
+  std::uint64_t probe_ticks = 0;     ///< scheduler ticks executed
+  /// Pairs the probe sweeps examined, summed over ticks: the incremental
+  /// scheduler walks only each tick's due prefix (zero on a clean
+  /// steady-state tick), the stateless scan always walks every pair —
+  /// dividing by probe_ticks gives the dirty-set size the bench reports.
+  std::uint64_t sweep_pairs_touched = 0;
   std::uint64_t ranking_flips = 0;   ///< best-path changes (post-hysteresis)
   std::uint64_t failover_events = 0;
   std::uint64_t failover_repins = 0;
@@ -191,6 +197,10 @@ class Broker : public ControlPlane {
   const ProbeScheduler& scheduler() const { return scheduler_; }
   const std::vector<int>& overlay_eps() const { return overlay_eps_; }
 
+  /// Pairs examined by the most recent probe tick's sweep (0 when every
+  /// ranking is fresh — the dirty-set property the service tests assert).
+  std::uint64_t last_sweep_touched() const { return last_sweep_touched_; }
+
   /// Live sessions whose pinned candidate path currently crosses the AS
   /// adjacency (as_a, as_b) — 0 after a completed failover.
   int sessions_traversing(int as_a, int as_b) const;
@@ -224,6 +234,7 @@ class Broker : public ControlPlane {
   BrokerMonitor* monitor_ = nullptr;
   int listener_id_ = -1;
   std::uint64_t route_epoch_ = 0;  ///< bumped per adjacency mutation
+  std::uint64_t last_sweep_touched_ = 0;
 
   // Pending failover work (mutation seen, repin scheduled).
   std::vector<int> pending_failover_pairs_;

@@ -57,6 +57,7 @@ void PathRanker::build_candidates(PairState* p) const {
     p->candidates.push_back(std::move(c));
   }
   p->best = 0;
+  p->order_dirty = true;
 }
 
 bool PathRanker::apply_sample(int idx, const core::PairSample& s, sim::Time t) {
@@ -137,6 +138,7 @@ bool PathRanker::apply_sample(int idx, const core::PairSample& s, sim::Time t) {
        best_score > inc.score_bps * (1.0 + cfg_.hysteresis))) {
     p.best = challenger;
   }
+  p.order_dirty = true;  // scores moved; cached admission order is stale
   return p.best != prev_best;
 }
 
@@ -151,6 +153,7 @@ void PathRanker::refresh_paths(int idx) {
     }
     c.down = false;
   }
+  p.order_dirty = true;
 }
 
 void PathRanker::mark_adjacency_down(int as_a, int as_b,
@@ -167,7 +170,10 @@ void PathRanker::mark_adjacency_down(int as_a, int as_b,
         hit = true;
       }
     }
-    if (hit && affected) affected->push_back(static_cast<int>(i));
+    if (hit) {
+      p.order_dirty = true;  // down flags demote candidates in the order
+      if (affected) affected->push_back(static_cast<int>(i));
+    }
   }
 }
 
@@ -197,6 +203,18 @@ void PathRanker::ranked_order(int idx, std::vector<int>* out) const {
     return a < b;
   });
   out->insert(out->begin(), p.best);
+}
+
+const std::vector<int>& PathRanker::admission_order(int idx) {
+  PairState& p = pairs_[static_cast<std::size_t>(idx)];
+  if (p.order_dirty) {
+    ranked_order(idx, &p.order_cache);
+    p.order_dirty = false;
+    ++order_rebuilds_;
+  } else {
+    ++order_hits_;
+  }
+  return p.order_cache;
 }
 
 }  // namespace cronets::service

@@ -76,6 +76,13 @@ struct PairState {
   /// is invariant to shard count and thread count.
   std::uint64_t decision_fp = 0;
   std::uint64_t admit_seq = 0;  ///< admissions stamped into the chain
+  /// Cached admission order (see PathRanker::admission_order) plus its
+  /// dirty bit — the heart of dirty-set incremental re-ranking. Set by
+  /// every mutation that can change the ranking (apply_sample,
+  /// refresh_paths, mark_adjacency_down, candidate rebuilds); admissions
+  /// on a clean pair reuse the cached order with no sort.
+  std::vector<int> order_cache;
+  bool order_dirty = true;
 };
 
 /// Fold one admission into the pair's decision chain.
@@ -151,8 +158,24 @@ class PathRanker {
 
   /// Candidate order for admission: current best first, then the remaining
   /// candidates by descending smoothed score (down candidates last).
-  /// Writes indices into `out` (sized to candidates.size()).
+  /// Writes indices into `out` (sized to candidates.size()). This is the
+  /// full-recompute reference; admissions use admission_order below.
   void ranked_order(int idx, std::vector<int>* out) const;
+
+  /// The pair's cached admission order — identical content to ranked_order,
+  /// but only recomputed when the pair's dirty bit is set (a probe was
+  /// applied, paths refreshed, or an adjacency failed since the last call).
+  /// Steady-state admissions on a clean pair are sort-free, so admission
+  /// cost scales with probe/mutation churn instead of session count.
+  const std::vector<int>& admission_order(int idx);
+
+  /// Whether the pair's cached order is stale (test/bench introspection).
+  bool order_dirty(int idx) const {
+    return pairs_[static_cast<std::size_t>(idx)].order_dirty;
+  }
+  /// Cached-order rebuilds / clean reuses since construction.
+  std::uint64_t order_rebuilds() const { return order_rebuilds_; }
+  std::uint64_t order_hits() const { return order_hits_; }
 
   /// Sum of this ranker's pair_decision_term contributions, keyed by
   /// `local_to_global` (identity when null). Per-shard partials merged in
@@ -169,6 +192,8 @@ class PathRanker {
   std::vector<int> overlay_eps_;
   std::vector<PairState> pairs_;
   std::unordered_map<std::uint64_t, int> index_;  // (src,dst) -> pair idx
+  std::uint64_t order_rebuilds_ = 0;
+  std::uint64_t order_hits_ = 0;
 };
 
 }  // namespace cronets::service

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "service/path_ranker.h"
@@ -20,6 +22,13 @@ struct ProbeConfig {
   /// probe-overhead lever: tightening it trades ranking freshness (and
   /// goodput regret) for measurement traffic.
   int budget_per_tick = 256;
+  /// Incremental due-tracking: the brokers notify the scheduler per probe
+  /// (track_pair / on_probed / age_all) and each tick walks only the due
+  /// prefix of an ordered staleness set — O(churn), not O(pairs). Selection
+  /// is provably identical to the stateless full scans (same due predicate,
+  /// same (staleness, index) order), so fingerprints cannot move; the flag
+  /// exists to run both modes against each other in tests.
+  bool incremental = true;
 };
 
 /// Decides which pairs to probe at each tick: pairs whose ranking is stale
@@ -44,6 +53,28 @@ class ProbeScheduler {
   void select(const std::vector<sim::Time>& last_probe, sim::Time now,
               std::vector<int>* out);
 
+  // --- incremental due-tracking (ProbeConfig::incremental) ---
+  // An ordered set keyed (last_probe ns, pair idx) mirrors the staleness
+  // table; each tick walks only its due prefix. The brokers keep it in
+  // sync: track_pair at registration, on_probed per applied probe,
+  // age_all when a mutation resets every pair to never-probed.
+
+  /// Start tracking pair `idx` (must be the next dense index) as
+  /// never-probed.
+  void track_pair(int idx);
+  /// Re-key pair `idx` after a probe was applied at time `t`.
+  void on_probed(int idx, sim::Time t);
+  /// Reset every tracked pair to never-probed (adjacency-restore sweeps).
+  void age_all();
+  /// Incremental equivalent of select(): walks the due prefix of the
+  /// ordered set — identical output to the stateless scans given the same
+  /// staleness values.
+  void select_incremental(sim::Time now, std::vector<int>* out);
+  /// Pairs examined by the last select_incremental (its due-prefix length):
+  /// zero on a clean steady-state tick, ~churn otherwise.
+  std::uint64_t last_scan() const { return last_scan_; }
+  std::size_t tracked() const { return key_of_.size(); }
+
   /// Pairs currently overdue (due but beyond this tick's budget) — the
   /// scheduler's staleness backlog, reported by the bench.
   std::uint64_t backlog() const { return backlog_; }
@@ -56,7 +87,10 @@ class ProbeScheduler {
   ProbeConfig cfg_;
   std::uint64_t backlog_ = 0;
   std::uint64_t selected_ = 0;
+  std::uint64_t last_scan_ = 0;
   std::vector<std::pair<std::int64_t, int>> due_;  // (last_probe ns, idx)
+  std::set<std::pair<std::int64_t, int>> due_set_;  // incremental mirror
+  std::vector<std::int64_t> key_of_;  // pair idx -> key in due_set_
 };
 
 }  // namespace cronets::service

@@ -58,11 +58,13 @@ void SessionManager::unreserve(const Candidate& c, double demand_bps) {
 
 int SessionManager::pick_candidate(PathRanker& ranker, int pair_idx,
                                    double demand_bps) {
-  ranker.ranked_order(pair_idx, &order_scratch_);
+  // Cached dirty-set order: sort-free on clean pairs (the common
+  // steady-state admission), recomputed only after a probe/mutation.
+  const std::vector<int>& order = ranker.admission_order(pair_idx);
   const PairState& p = ranker.pair(pair_idx);
   int direct_fallback = 0;
   bool denied = false;
-  for (int ci : order_scratch_) {
+  for (int ci : order) {
     const Candidate& c = p.candidates[static_cast<std::size_t>(ci)];
     if (c.kind == core::PathKind::kDirect) {
       direct_fallback = ci;

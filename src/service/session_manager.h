@@ -150,7 +150,6 @@ class SessionManager {
   std::vector<std::uint32_t> free_;
   std::size_t active_ = 0;
   std::uint64_t overlay_denied_ = 0;
-  std::vector<int> order_scratch_;  // ranked_order output, reused per admit
 };
 
 }  // namespace cronets::service

@@ -69,6 +69,7 @@ int ShardedBroker::register_pair(int src, int dst) {
   shard_of_pair_.push_back(s);
   local_of_pair_.push_back(local);
   global_last_probe_.push_back(sim::Time{-1});
+  scheduler_.track_pair(gid);
   // Registration is the only place the shard's sweep scratch may grow (cf.
   // Broker's probe buffers): any sweep measures at most every pair the
   // shard owns, so steady-state probe ticks never reallocate.
@@ -127,7 +128,15 @@ void ShardedBroker::run_until(sim::Time t) {
 
 void ShardedBroker::probe_tick() {
   sel_scratch_.clear();
-  scheduler_.select(global_last_probe_, now_, &sel_scratch_);
+  if (cfg_.probe.incremental) {
+    scheduler_.select_incremental(now_, &sel_scratch_);
+  } else {
+    scheduler_.select(global_last_probe_, now_, &sel_scratch_);
+  }
+  last_sweep_touched_ =
+      cfg_.probe.incremental ? scheduler_.last_scan() : pair_count();
+  ++probe_ticks_;
+  sweep_pairs_touched_ += last_sweep_touched_;
   if (!sel_scratch_.empty()) {
     measure_selection(sel_scratch_, now_);
     apply_selection(sel_scratch_, now_, /*force_repin=*/false);
@@ -216,6 +225,7 @@ void ShardedBroker::apply_probe(Shard& sh, int global_id, int local_idx,
   }
   ++sh.probes;
   global_last_probe_[static_cast<std::size_t>(global_id)] = p.last_probe;
+  scheduler_.on_probed(global_id, p.last_probe);
 }
 
 void ShardedBroker::on_mutation(const topo::Mutation& m) {
@@ -233,6 +243,7 @@ void ShardedBroker::on_mutation(const topo::Mutation& m) {
     }
     std::fill(global_last_probe_.begin(), global_last_probe_.end(),
               sim::Time{-1});
+    scheduler_.age_all();
     return;
   }
   // Failure: fan the mark-down out to every shard (shard-index order) and
@@ -324,6 +335,8 @@ ShardedBrokerStats ShardedBroker::stats() const {
     out.shards.push_back(ss);
   }
   out.failover_events = failover_events_;
+  out.probe_ticks = probe_ticks_;
+  out.sweep_pairs_touched = sweep_pairs_touched_;
   out.last_failover_reaction = last_failover_reaction_;
   // Fold per-pair regret in global-pair-id order: a fixed floating-point
   // summation order, so the aggregate is bitwise shard-count-invariant.

@@ -45,6 +45,11 @@ struct ShardedBrokerStats {
   std::uint64_t admitted_via_overlay = 0;
   std::uint64_t migrations = 0;
   std::uint64_t probes = 0;
+  std::uint64_t probe_ticks = 0;
+  /// Pairs the global probe sweeps examined, summed over ticks (the
+  /// incremental scheduler's due prefix per tick; every pair when the
+  /// stateless scan runs) — same semantics as BrokerStats.
+  std::uint64_t sweep_pairs_touched = 0;
   std::uint64_t ranking_flips = 0;
   std::uint64_t failover_events = 0;
   std::uint64_t failover_repins = 0;
@@ -141,6 +146,10 @@ class ShardedBroker final : public ControlPlane {
   const ProbeScheduler& scheduler() const { return scheduler_; }
   const std::vector<int>& overlay_eps() const { return overlay_eps_; }
 
+  /// Pairs examined by the most recent probe tick's global sweep (0 when
+  /// every ranking is fresh).
+  std::uint64_t last_sweep_touched() const { return last_sweep_touched_; }
+
   /// Aggregated + per-shard statistics (merged on demand; see
   /// ShardedBrokerStats for the invariance guarantees).
   ShardedBrokerStats stats() const;
@@ -213,6 +222,9 @@ class ShardedBroker final : public ControlPlane {
   std::vector<sim::Time> global_last_probe_;           // gid -> staleness
 
   std::uint64_t failover_events_ = 0;
+  std::uint64_t probe_ticks_ = 0;
+  std::uint64_t sweep_pairs_touched_ = 0;
+  std::uint64_t last_sweep_touched_ = 0;
   sim::Time last_failover_reaction_{0};
   std::vector<int> pending_failover_pairs_;  // global ids
   sim::Time pending_failover_since_{-1};

@@ -20,12 +20,15 @@ struct ScenarioResult {
   int crossing_after = -1;
   double peak_overlay_used_bps = 0.0;
   std::uint64_t overlay_denied = 0;
+  std::uint64_t partial_fp = 0;  ///< merged per-pair decision chains
 };
 
 /// One broker run: churn workload + a transit-adjacency failure halfway
 /// through. Every field of the result must be a pure function of the
-/// seeds and config — never of `threads`.
-ScenarioResult run_scenario(int threads, double nic_cap_bps = 0.0) {
+/// seeds and config — never of `threads` (nor of `incremental`, the
+/// dirty-set scheduler being a pure performance knob).
+ScenarioResult run_scenario(int threads, double nic_cap_bps = 0.0,
+                            bool incremental = true) {
   wkld::World world(kWorldSeed);
   const auto clients = world.make_web_clients(12);
   const auto servers = world.make_servers();
@@ -37,6 +40,7 @@ ScenarioResult run_scenario(int threads, double nic_cap_bps = 0.0) {
   cfg.probe.budget_per_tick = 16;
   cfg.failover_delay = sim::Time::seconds(1);
   cfg.nic_capacity_bps = nic_cap_bps;
+  cfg.probe.incremental = incremental;
   sim::ThreadPool pool(sim::Parallelism{threads});
   Broker broker(&world.internet(), &world.meter(), &pool, overlays, cfg);
 
@@ -67,6 +71,7 @@ ScenarioResult run_scenario(int threads, double nic_cap_bps = 0.0) {
   r.peak_concurrent = churn.stats().peak_concurrent;
   r.peak_overlay_used_bps = broker.sessions().peak_overlay_used_bps();
   r.overlay_denied = broker.sessions().overlay_denied();
+  r.partial_fp = broker.ranker().partial_decision_fingerprint();
   return r;
 }
 
@@ -251,6 +256,163 @@ TEST(ProbeScheduler, BudgetSelectsMostStaleFirst) {
   sched.select(ranker, sim::Time::seconds(21), &out);
   EXPECT_EQ(out, std::vector<int>{a});
   EXPECT_EQ(sched.backlog(), 0u);
+}
+
+TEST(IncrementalReRank, DirtySetSweepsMatchFullScanBitwise) {
+  // The dirty-set machinery (incremental probe scheduling + cached
+  // admission orders) is a pure performance knob: the full-scan reference
+  // run must agree decision for decision, bit for bit.
+  const ScenarioResult inc = run_scenario(1, 0.0, /*incremental=*/true);
+  const ScenarioResult full = run_scenario(1, 0.0, /*incremental=*/false);
+  EXPECT_EQ(inc.stats.decision_fingerprint, full.stats.decision_fingerprint);
+  EXPECT_EQ(inc.partial_fp, full.partial_fp);
+  EXPECT_EQ(inc.stats.sessions_admitted, full.stats.sessions_admitted);
+  EXPECT_EQ(inc.stats.admitted_via_overlay, full.stats.admitted_via_overlay);
+  EXPECT_EQ(inc.stats.migrations, full.stats.migrations);
+  EXPECT_EQ(inc.stats.ranking_flips, full.stats.ranking_flips);
+  EXPECT_EQ(inc.stats.probes, full.stats.probes);
+  EXPECT_EQ(inc.stats.failover_repins, full.stats.failover_repins);
+  EXPECT_EQ(inc.stats.regret_sum, full.stats.regret_sum);
+  EXPECT_EQ(inc.stats.probe_ticks, full.stats.probe_ticks);
+  // Same decisions, far less work: the stateless scan examines every pair
+  // on every tick, the incremental sweep only the due prefix.
+  EXPECT_GT(inc.stats.probe_ticks, 0u);
+  EXPECT_LT(inc.stats.sweep_pairs_touched, full.stats.sweep_pairs_touched);
+}
+
+TEST(IncrementalReRank, CleanSteadyStateSweepTouchesZeroPairs) {
+  // Warm-up probes every pair at t=0; with a 10 s staleness interval the
+  // ticks at t=1..5 find a fully fresh fleet, and the incremental sweep
+  // must notice that without examining a single pair.
+  wkld::World world(kWorldSeed);
+  const auto clients = world.make_web_clients(8);
+  const auto servers = world.make_servers();
+  const auto overlays = world.rent_paper_overlays();
+  BrokerConfig cfg;
+  cfg.probe.interval = sim::Time::seconds(10);
+  cfg.probe.tick = sim::Time::seconds(1);
+  Broker broker(&world.internet(), &world.meter(), nullptr, overlays, cfg);
+  for (int c : clients) broker.register_pair(c, servers[0]);
+  broker.warm_up();
+  broker.run_until(sim::Time::seconds(5));
+  EXPECT_GT(broker.stats().probe_ticks, 0u);
+  EXPECT_EQ(broker.stats().sweep_pairs_touched, 0u);
+  EXPECT_EQ(broker.last_sweep_touched(), 0u);
+  // Once the interval elapses the whole fleet comes due again.
+  broker.run_until(sim::Time::seconds(10));
+  EXPECT_EQ(broker.last_sweep_touched(), clients.size());
+}
+
+TEST(IncrementalReRank, IncrementalSelectionMatchesStatelessScan) {
+  // Same staleness state as the BudgetSelectsMostStaleFirst scenario, fed
+  // through the ordered due set: identical selection, but last_scan()
+  // counts only the due prefix.
+  ProbeConfig cfg;
+  cfg.interval = sim::Time::seconds(10);
+  cfg.budget_per_tick = 2;
+  ProbeScheduler sched(cfg);
+  for (int i = 0; i < 4; ++i) sched.track_pair(i);
+  // b(1) and d(3) never probed; a(0) stale; c(2) fresh.
+  sched.on_probed(0, sim::Time::seconds(5));
+  sched.on_probed(2, sim::Time::seconds(19));
+  std::vector<int> out;
+  sched.select_incremental(sim::Time::seconds(20), &out);
+  EXPECT_EQ(out, (std::vector<int>{1, 3}));
+  EXPECT_EQ(sched.backlog(), 1u);
+  EXPECT_EQ(sched.last_scan(), 3u);  // the three due pairs, not all four
+
+  sched.on_probed(1, sim::Time::seconds(20));
+  sched.on_probed(3, sim::Time::seconds(20));
+  out.clear();
+  sched.select_incremental(sim::Time::seconds(21), &out);
+  EXPECT_EQ(out, std::vector<int>{0});
+  EXPECT_EQ(sched.backlog(), 0u);
+  EXPECT_EQ(sched.last_scan(), 1u);
+
+  // Fresh fleet: the due prefix is empty.
+  sched.on_probed(0, sim::Time::seconds(21));
+  out.clear();
+  sched.select_incremental(sim::Time::seconds(22), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(sched.last_scan(), 0u);
+
+  // age_all resets every pair to never-probed (adjacency restore).
+  sched.age_all();
+  out.clear();
+  sched.select_incremental(sim::Time::seconds(22), &out);
+  EXPECT_EQ(out, (std::vector<int>{0, 1}));  // index order, budget 2
+  EXPECT_EQ(sched.last_scan(), 4u);
+}
+
+TEST(IncrementalReRank, FailoverMarksExactlyTheAdjacentPairsDirty) {
+  wkld::World world(kWorldSeed);
+  const auto clients = world.make_web_clients(12);
+  const auto servers = world.make_servers();
+  const auto overlays = world.rent_paper_overlays();
+  PathRanker ranker(&world.internet(), RankerConfig{}, overlays);
+  for (int c : clients) {
+    for (int s : servers) ranker.add_pair(c, s);
+  }
+  // Clean every pair's cached order, then fail an adjacency some direct
+  // path actually crosses.
+  for (int i = 0; i < static_cast<int>(ranker.size()); ++i) {
+    ranker.admission_order(i);
+    ASSERT_FALSE(ranker.order_dirty(i));
+  }
+  const auto& seq = ranker.pair(0).candidates[0].path->as_seq;
+  ASSERT_GE(seq.size(), 2u);
+  const int as_a = seq[0], as_b = seq[1];
+  std::vector<int> affected;
+  ranker.mark_adjacency_down(as_a, as_b, &affected);
+  ASSERT_FALSE(affected.empty());
+  // Exactly the pairs with a candidate crossing (as_a, as_b) are dirty.
+  std::vector<int> expected;
+  for (int i = 0; i < static_cast<int>(ranker.size()); ++i) {
+    const PairState& p = ranker.pair(i);
+    bool crosses = false;
+    for (const Candidate& c : p.candidates) {
+      crosses = crosses ||
+                (c.path && path_uses_adjacency(*c.path, as_a, as_b)) ||
+                (c.leg2 && path_uses_adjacency(*c.leg2, as_a, as_b));
+    }
+    if (crosses) expected.push_back(i);
+    EXPECT_EQ(ranker.order_dirty(i), crosses) << "pair " << i;
+  }
+  EXPECT_EQ(affected, expected);
+  EXPECT_LT(expected.size(), ranker.size()) << "failure should not hit all";
+}
+
+TEST(PathRanker, AdmissionOrderMatchesRankedOrderAndCaches) {
+  wkld::World world(kWorldSeed);
+  const auto clients = world.make_web_clients(2);
+  const auto servers = world.make_servers();
+  const auto overlays = world.rent_paper_overlays();
+  PathRanker ranker(&world.internet(), RankerConfig{}, overlays);
+  const int idx = ranker.add_pair(clients[0], servers[0]);
+
+  core::PairSample s;
+  s.src = clients[0];
+  s.dst = servers[0];
+  s.direct_bps = 10e6;
+  for (std::size_t i = 0; i < overlays.size(); ++i) {
+    core::OverlaySample o;
+    o.overlay_ep = overlays[i];
+    o.split_bps = 5e6 + 1e6 * static_cast<double>(i);
+    s.overlays.push_back(o);
+  }
+  std::vector<int> reference;
+  for (int probe = 0; probe < 3; ++probe) {
+    s.direct_bps += 7e6;  // moves the ranking around
+    ranker.apply_sample(idx, s, sim::Time::seconds(probe + 1));
+    EXPECT_TRUE(ranker.order_dirty(idx));
+    const std::uint64_t rebuilds = ranker.order_rebuilds();
+    ranker.ranked_order(idx, &reference);
+    EXPECT_EQ(ranker.admission_order(idx), reference);  // rebuilt
+    EXPECT_EQ(ranker.admission_order(idx), reference);  // cached
+    EXPECT_EQ(ranker.order_rebuilds(), rebuilds + 1);
+    EXPECT_FALSE(ranker.order_dirty(idx));
+  }
+  EXPECT_GT(ranker.order_hits(), 0u);
 }
 
 TEST(InternetMutation, ListenersObserveEventsAndUnsubscribe) {

@@ -1,0 +1,217 @@
+// The vectorized measurement kernels' contract: CRONETS_SIMD is a pure
+// performance knob. Every ISA level (AVX2 on x86-64, NEON on aarch64, the
+// portable scalar reference) must produce bitwise identical AR(1)
+// innovation lanes, PFTK throughputs, and end-to-end batched samples — at
+// every horizon, array length (including ragged SIMD tails), and loss
+// regime (the branch-turned-blend).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "model/batch_sampler.h"
+#include "model/flow_model.h"
+#include "model/simd/dispatch.h"
+#include "sim/hash_rng.h"
+#include "wkld/world.h"
+
+namespace cronets {
+namespace {
+
+using model::simd::Level;
+
+std::vector<Level> wide_levels() {
+  std::vector<Level> out;
+  for (Level l : {Level::kAvx2, Level::kNeon}) {
+    if (model::simd::level_available(l)) out.push_back(l);
+  }
+  return out;
+}
+
+TEST(SimdDispatch, ActiveLevelIsAvailable) {
+  EXPECT_TRUE(model::simd::level_available(model::simd::active_level()));
+  EXPECT_TRUE(model::simd::level_available(Level::kScalar));
+}
+
+TEST(SimdDispatch, LevelNames) {
+  EXPECT_STREQ("scalar", model::simd::level_name(Level::kScalar));
+  EXPECT_STREQ("avx2", model::simd::level_name(Level::kAvx2));
+  EXPECT_STREQ("neon", model::simd::level_name(Level::kNeon));
+}
+
+TEST(SimdAr1, MatchesScalarReferenceAtEveryHorizon) {
+  const auto levels = wide_levels();
+  if (levels.empty()) GTEST_SKIP() << "no wide SIMD level on this machine";
+  // Streams and epochs spanning small, huge, and sign-wrapped values; every
+  // horizon 1..64 exercises each possible ragged tail.
+  const std::uint64_t streams[] = {0u, 1u, 0x9e3779b97f4a7c15ull,
+                                   0xffffffffffffffffull, 12345678901234ull};
+  const std::int64_t epochs[] = {0, 1, -3, 1'000'000'007, -987654321012345678};
+  for (const Level level : levels) {
+    for (const std::uint64_t stream : streams) {
+      for (const std::int64_t n : epochs) {
+        for (int horizon = 1; horizon <= 64; ++horizon) {
+          double ref[64], got[64];
+          model::simd::ar1_innovations(Level::kScalar, stream, n, horizon, ref);
+          model::simd::ar1_innovations(level, stream, n, horizon, got);
+          for (int j = 0; j < horizon; ++j) {
+            ASSERT_EQ(ref[j], got[j])
+                << model::simd::level_name(level) << " stream=" << stream
+                << " n=" << n << " horizon=" << horizon << " j=" << j;
+          }
+          // And against the hash primitives directly.
+          for (int j = 0; j < horizon; ++j) {
+            ASSERT_EQ(sim::hash_centered(sim::hash_combine(
+                          stream, static_cast<std::uint64_t>(n - j))),
+                      got[j]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdAr1, GroupedWeightedSumsMatchScalarFoldExactly) {
+  // The grouped fold (four fields per kernel call, one lane each) must
+  // reproduce the plain per-field scalar fold bit-for-bit: zero-padded
+  // weight rows past a lane's horizon contribute exact +/-0.0 adds, and
+  // lane order never mixes fields. Exercised with mixed horizons per
+  // group, short tail groups (nf 1..4), and every available level.
+  sim::Rng rng(11);
+  const std::uint64_t streams[] = {3u, 0x9e3779b97f4a7c15ull, 77777777777ull,
+                                   0xfedcba9876543210ull};
+  const std::int64_t ns[] = {5, -2, 123456789, 0};
+  for (int nf = 1; nf <= 4; ++nf) {
+    for (const int base_h : {1, 7, 31, 64}) {
+      int horizons[4];
+      int maxh = 0;
+      for (int k = 0; k < 4; ++k) {
+        // Mixed horizons: base, then progressively shorter lanes.
+        horizons[k] = std::max(1, base_h - 9 * k);
+        if (k < nf) maxh = std::max(maxh, horizons[k]);
+      }
+      // Lane-transposed weight matrix, zero-padded past each horizon.
+      std::vector<double> wt(4 * static_cast<std::size_t>(maxh), 0.0);
+      std::vector<std::vector<double>> w(4);
+      for (int k = 0; k < 4; ++k) {
+        double wk = 1.0;
+        const double a = 0.5 + 0.49 * rng.uniform();
+        for (int j = 0; j < horizons[k]; ++j) {
+          w[k].push_back(wk);
+          if (j < maxh) wt[4 * static_cast<std::size_t>(j) + k] = wk;
+          wk *= a;
+        }
+      }
+      double ref[4], got[4];
+      model::simd::ar1_weighted_sums(Level::kScalar, nf, streams, ns, horizons,
+                                     wt.data(), maxh, ref);
+      // Scalar reference recomputed from first principles.
+      for (int k = 0; k < nf; ++k) {
+        double acc = 0.0;
+        for (int j = 0; j < horizons[k]; ++j) {
+          acc += w[k][static_cast<std::size_t>(j)] *
+                 sim::hash_centered(sim::hash_combine(
+                     streams[k], static_cast<std::uint64_t>(ns[k] - j)));
+        }
+        ASSERT_EQ(acc, ref[k]) << "nf=" << nf << " base_h=" << base_h
+                               << " k=" << k;
+      }
+      for (const Level level : wide_levels()) {
+        model::simd::ar1_weighted_sums(level, nf, streams, ns, horizons,
+                                       wt.data(), maxh, got);
+        for (int k = 0; k < nf; ++k) {
+          ASSERT_EQ(ref[k], got[k])
+              << model::simd::level_name(level) << " nf=" << nf
+              << " base_h=" << base_h << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdPftk, MatchesScalarFunctionAcrossLossRegimes) {
+  const auto levels = wide_levels();
+  if (levels.empty()) GTEST_SKIP() << "no wide SIMD level on this machine";
+  model::TcpModelParams p;
+  // Deterministic inputs straddling every branch: zero loss (the blend's
+  // sentinel side), sub-gate loss, heavy loss, slow and fast RTTs, and
+  // capacity- vs window-bound paths.
+  std::vector<double> rtt_ms, loss, residual, capacity, rwnd;
+  sim::Rng rng(7);
+  const double loss_grid[] = {0.0, 1e-12, 1e-9, 2e-9, 1e-4, 0.01, 0.2};
+  for (int i = 0; i < 259; ++i) {  // odd length: exercises ragged tails
+    rtt_ms.push_back(0.05 + 400.0 * rng.uniform());
+    loss.push_back(loss_grid[i % 7] * (0.5 + rng.uniform()));
+    residual.push_back(1e6 + 1e9 * rng.uniform());
+    capacity.push_back(1e6 + 1e10 * rng.uniform());
+    rwnd.push_back(64e3 + 8e6 * rng.uniform());
+  }
+  for (const Level level : levels) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                          std::size_t{4}, std::size_t{5}, std::size_t{7},
+                          std::size_t{8}, rtt_ms.size()}) {
+      std::vector<double> got(n), ref(n);
+      model::pftk_throughput_batch(level, n, rtt_ms.data(), loss.data(),
+                                   residual.data(), capacity.data(),
+                                   rwnd.data(), p, got.data());
+      model::pftk_throughput_batch(Level::kScalar, n, rtt_ms.data(),
+                                   loss.data(), residual.data(),
+                                   capacity.data(), rwnd.data(), p, ref.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(ref[i], got[i])
+            << model::simd::level_name(level) << " n=" << n << " i=" << i
+            << " loss=" << loss[i];
+        // The scalar function itself (with the per-element rwnd override).
+        model::TcpModelParams pi = p;
+        pi.rwnd_bytes = rwnd[i];
+        ASSERT_EQ(model::pftk_throughput_bps(rtt_ms[i], loss[i], residual[i],
+                                             capacity[i], pi),
+                  got[i]);
+      }
+    }
+  }
+}
+
+TEST(SimdBatchSampler, EndToEndSamplesMatchScalarLevel) {
+  const auto levels = wide_levels();
+  if (levels.empty()) GTEST_SKIP() << "no wide SIMD level on this machine";
+  topo::TopologyParams tp;
+  tp.seed = 42;
+  tp.num_tier1 = 8;
+  tp.num_tier2 = 24;
+  tp.num_stubs = 80;
+  wkld::World world(42, tp);
+  const auto clients = world.make_web_clients(8);
+  const auto servers = world.make_servers();
+  std::vector<topo::PathRef> paths;
+  for (int s : servers) {
+    for (int c : clients) paths.push_back(world.internet().cached_path(s, c));
+  }
+  for (const Level level : levels) {
+    model::BatchSampler scalar_s(&world.flow(), Level::kScalar);
+    model::BatchSampler simd_s(&world.flow(), level);
+    EXPECT_EQ(level, simd_s.simd_level());
+    std::vector<int> hs, hv;
+    for (const auto& p : paths) {
+      hs.push_back(scalar_s.intern(p));
+      hv.push_back(simd_s.intern(p));
+    }
+    std::vector<model::PathMetrics> ms(paths.size()), mv(paths.size());
+    for (int step = 0; step < 5; ++step) {
+      const sim::Time t = sim::Time::seconds(step * 17);
+      scalar_s.sample_batch(hs.data(), hs.size(), t, ms.data());
+      simd_s.sample_batch(hv.data(), hv.size(), t, mv.data());
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        ASSERT_EQ(ms[i].rtt_ms, mv[i].rtt_ms) << i;
+        ASSERT_EQ(ms[i].loss, mv[i].loss) << i;
+        ASSERT_EQ(ms[i].residual_bps, mv[i].residual_bps) << i;
+        ASSERT_EQ(ms[i].capacity_bps, mv[i].capacity_bps) << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cronets
