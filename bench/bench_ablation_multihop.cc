@@ -1,11 +1,29 @@
-// Extension (§VII-B): one-hop vs multi-hop overlay paths. The paper left
-// multi-hop overlays as future work; with the cloud's private backbone we
-// can relay through two data centers (split-TCP at each) so the
-// transcontinental middle rides the clean backbone. Packet-level runs on
-// intercontinental pairs.
+// Extension (§VII-B): one-hop vs multi-hop overlay paths, now driven by
+// the src/route/ routing plane instead of a hand-rolled two-DC relay
+// table. The plane (delay policy) measures the backbone mesh and holds a
+// route per (entry, exit) DC pair; the bench picks the best 2-hop
+// configuration the way service::PathRanker scores kMultiHop candidates —
+// min(entry leg, backbone bottleneck, exit leg) with the split-proxy
+// haircut per relay — and then validates that choice at packet level with
+// core::PacketLab.
+//
+// Check rows: the paper-era hypothesis (2-hop beats 1-hop on
+// intercontinental pairs) plus the plane-vs-enumeration contract — the
+// plane's best 2-hop choice must match or beat an exhaustive enumeration
+// over every ordered DC pair relayed across the *direct* backbone edge
+// (the old hand-rolled approach, done properly). Both are pure functions
+// of the seed. The plane-vs-hand goodput column is informational: when
+// the probe model is optimistic about an exit leg the packet run cannot
+// sustain (CRONETS' probes have the same blind spot), the plane's choice
+// is right per its measurements and still loses at packet level.
+
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/measure_packet.h"
+#include "route/plane.h"
 #include "wkld/experiments.h"
 
 using namespace cronets;
@@ -15,7 +33,9 @@ int main() {
   wkld::World world(world_seed());
   auto& net = world.internet();
 
-  // Intercontinental pairs: Asia/AU clients served from NA/EU and vice versa.
+  // Intercontinental pairs: Asia/AU clients served from NA/EU and vice
+  // versa. near_src_dc/near_dst_dc are the old bench's hand-rolled relay
+  // choices, kept as the comparison column.
   struct Case {
     const char* name;
     int src, dst, near_src_dc, near_dst_dc;
@@ -39,31 +59,136 @@ int main() {
   const sim::Time dur = quick_mode() ? sim::Time::seconds(6) : sim::Time::seconds(10);
   const sim::Time at = sim::Time::hours(1);
 
-  print_header("Ablation: multi-hop overlays", "split via 1 DC vs 2 DCs + backbone");
-  std::printf("%-28s %10s %12s %14s %10s\n", "case", "direct", "1-hop split",
-              "2-hop backbone", "2hop/1hop");
+  print_header("Ablation: multi-hop overlays",
+               "routing-plane 2-hop choice vs 1 DC and hand-rolled 2 DCs");
+  BenchRun run("bench_ablation_multihop");
+
+  // Warm the routing plane in the seconds before the measurement instant:
+  // a few metric-exchange rounds measure every backbone edge and let
+  // multi-hop routes propagate (Bellman-Ford needs one round per hop).
+  route::RouteConfig rcfg;
+  rcfg.policy = route::Policy::kDelay;
+  route::RoutePlane plane(&net, &world.flow(), world.seed(), rcfg);
+  for (int k = 8; k >= 1; --k) plane.step(at - sim::Time::seconds(k));
+
+  const auto& dcs = net.dc_endpoints();
+  const auto& graph = plane.graph();
+
+  std::printf("%-26s %9s %11s %11s %11s %7s  %s\n", "case", "direct",
+              "1-hop split", "2-hop hand", "2-hop plane", "pl/hd",
+              "plane pair");
 
   core::PacketLab lab(&net);
-  double ratio_sum = 0;
+  double ratio21_sum = 0, plane_vs_hand_sum = 0;
+  int plane_matches_enum = 0;
   int n = 0;
+  std::vector<int> via;
   for (const auto& c : cases) {
+    // Model-level leg rates of every DC for this pair, with the exact
+    // probe semantics the broker's ranker uses. measure() skips an overlay
+    // that coincides with the pair's src or dst, so samples are matched by
+    // endpoint id, never by dcs index.
+    const auto s = world.meter().measure(c.src, c.dst, dcs, at);
+    std::vector<const core::OverlaySample*> by_dc(dcs.size(), nullptr);
+    for (const auto& os : s.overlays) {
+      for (std::size_t i = 0; i < dcs.size(); ++i) {
+        if (dcs[i] == os.overlay_ep) {
+          by_dc[i] = &os;
+          break;
+        }
+      }
+    }
+
+    // The plane's best 2-hop configuration: enter at a, ride the plane's
+    // current route to b, exit at b — scored like a kMultiHop candidate.
+    // The exhaustive reference forces the middle onto the direct backbone
+    // edge for every ordered pair, which is all the old hand-rolled
+    // enumeration could express.
+    double plane_best = 0.0, enum_best = 0.0;
+    double best_leg1 = 0.0, best_leg2 = 0.0;
+    int best_a = -1, best_b = -1;
+    for (std::size_t ia = 0; ia < dcs.size(); ++ia) {
+      for (std::size_t ib = 0; ib < dcs.size(); ++ib) {
+        if (ia == ib) continue;
+        // A server hosted in a DC enters the backbone on its own VM: that
+        // entry (or exit) leg is free, exactly like the old hand-rolled
+        // table's via_a == src rows. A DC with no sample (it coincides
+        // with the other side of the pair) cannot serve this role.
+        if (dcs[ia] != c.src && by_dc[ia] == nullptr) continue;
+        if (dcs[ib] != c.dst && by_dc[ib] == nullptr) continue;
+        const double leg1 = dcs[ia] == c.src
+                                ? std::numeric_limits<double>::infinity()
+                                : by_dc[ia]->leg1_bps;
+        const double leg2 = dcs[ib] == c.dst
+                                ? std::numeric_limits<double>::infinity()
+                                : by_dc[ib]->leg2_bps;
+        const double direct_mid =
+            graph.edge_measured(static_cast<int>(ia), static_cast<int>(ib))
+                ? graph.ewma_bps(static_cast<int>(ia), static_cast<int>(ib))
+                : 0.0;
+        double enum_score = std::min(leg1, std::min(direct_mid, leg2));
+        enum_score *= 0.97 * 0.97;
+        enum_best = std::max(enum_best, enum_score);
+
+        if (!plane.route(dcs[ia], dcs[ib], &via)) continue;
+        double score =
+            std::min(leg1, std::min(plane.route_bottleneck_bps(via), leg2));
+        for (std::size_t h = 0; h < via.size(); ++h) score *= 0.97;
+        // Lexicographic argmax: the min() composition ties whenever the
+        // exit (or middle) leg is the bottleneck, and scan order would then
+        // pick an arbitrary entry DC. Break ties towards leg headroom — a
+        // free own-VM leg (infinite) always wins, mirroring what the
+        // hand-rolled table did with its via_a == src rows.
+        const bool better =
+            score > plane_best ||
+            (score == plane_best &&
+             (leg1 > best_leg1 || (leg1 == best_leg1 && leg2 > best_leg2)));
+        if (better) {
+          plane_best = score;
+          best_leg1 = leg1;
+          best_leg2 = leg2;
+          best_a = dcs[ia];
+          best_b = dcs[ib];
+        }
+      }
+    }
+    if (plane_best >= enum_best * (1.0 - 1e-12)) ++plane_matches_enum;
+
+    // Packet-level validation of the table. The plane-chosen relay pair
+    // runs across the direct backbone edge (on the default great-circle
+    // mesh the plane's routes are exactly the direct edges).
     const auto direct = lab.run_direct(c.src, c.dst, dur, at);
-    // Best single relay of the two nearby DCs.
     const double one_hop =
         std::max(lab.run_split(c.src, c.dst, c.near_src_dc, dur, at).goodput_bps,
                  lab.run_split(c.src, c.dst, c.near_dst_dc, dur, at).goodput_bps);
-    const auto two_hop =
-        lab.run_split_backbone(c.src, c.dst, c.near_src_dc, c.near_dst_dc, dur, at);
-    const double ratio = one_hop > 0 ? two_hop.goodput_bps / one_hop : 0.0;
-    ratio_sum += ratio;
+    const double hand = lab.run_split_backbone(c.src, c.dst, c.near_src_dc,
+                                               c.near_dst_dc, dur, at)
+                            .goodput_bps;
+    const double planep =
+        best_a >= 0
+            ? lab.run_split_backbone(c.src, c.dst, best_a, best_b, dur, at)
+                  .goodput_bps
+            : 0.0;
+    const double ratio21 = one_hop > 0 ? planep / one_hop : 0.0;
+    const double pl_vs_hd = hand > 0 ? planep / hand : 0.0;
+    ratio21_sum += ratio21;
+    plane_vs_hand_sum += pl_vs_hd;
     ++n;
-    std::printf("%-28s %9.1fM %11.1fM %13.1fM %10.2f\n", c.name,
-                direct.goodput_bps / 1e6, one_hop / 1e6, two_hop.goodput_bps / 1e6,
-                ratio);
+    std::printf("%-26s %8.1fM %10.1fM %10.1fM %10.1fM %7.2f  %s->%s\n",
+                c.name, direct.goodput_bps / 1e6, one_hop / 1e6, hand / 1e6,
+                planep / 1e6, pl_vs_hd,
+                best_a >= 0 ? net.endpoint(best_a).name.c_str() : "?",
+                best_b >= 0 ? net.endpoint(best_b).name.c_str() : "?");
   }
 
-  print_paper_checks({
-      {"avg 2-hop/1-hop ratio (hypothesis: >= 1)", 1.0, n ? ratio_sum / n : 0.0},
+  run.set_pairs(n);
+  run.finish({
+      {"avg 2-hop/1-hop ratio (hypothesis: >= 1)", 1.0,
+       n ? ratio21_sum / n : 0.0},
+      {"avg plane-choice / hand-rolled 2-hop goodput", 1.0,
+       n ? plane_vs_hand_sum / n : 0.0},
+      {"plane 2-hop choice >= exhaustive enumeration (1=yes)", 1.0,
+       plane_matches_enum == n ? 1.0 : 0.0},
   });
   return 0;
 }

@@ -1,0 +1,289 @@
+// Multi-hop overlay routing plane (src/route/) under a pathological
+// topology: a congestion-heavy public Internet (high severe/hot core
+// fractions, long fiber detours) where the one-hop overlay already wins
+// often, plus a severe mid-run congestion episode on the ams<->wdc
+// backbone edge so the plane has to route *around* its own backbone.
+// Both policies run — delay-based (EWMA + hysteresis, Jonglez
+// arXiv:1403.3488) and backpressure (virtual queue differentials,
+// Rai/Singh/Modiano arXiv:1612.05537) — each through three control
+// planes: the single Broker, ShardedBroker with 1 shard, and
+// ShardedBroker with 8 shards, all on the same seed.
+//
+// Reported per policy: the k-hop (k>=2 relay VMs) win-rate over the
+// one-hop overlay and the direct path, mid-episode detour routes (>= 2
+// backbone hops), convergence rounds, route flaps, and the two
+// determinism witnesses — the plane's routing-table fingerprint and the
+// control plane's per-pair-merged decision fingerprint. Every `checks`
+// row is a pure function of the seed: the "(1=yes)" rows assert the
+// sharded control planes reproduce the single broker's decisions and
+// routing tables bit for bit, and the CI legs diff the whole text output
+// across CRONETS_THREADS 1/4 and CRONETS_SIMD scalar/auto (only
+// "-- timing:"/"-- config" rows are filtered).
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/selection.h"
+#include "route/plane.h"
+#include "service/broker.h"
+#include "service/sharded_broker.h"
+#include "wkld/session_churn.h"
+#include "wkld/world.h"
+
+using namespace cronets;
+
+namespace {
+
+// The pathological-topology axis the one-hop paper could not open: long
+// AS-level detours and a congestion-ridden core make the public legs bad
+// enough that entering the backbone near the client and exiting near the
+// server (two relay VMs) beats any single relay.
+topo::TopologyParams pathological_topology() {
+  topo::TopologyParams tp;
+  tp.seed = bench::world_seed();
+  tp.core_severe_fraction = 0.10;
+  tp.core_hot_fraction = 0.18;
+  tp.detour_mu = 0.55;
+  tp.detour_sigma = 0.55;
+  return tp;
+}
+
+// Even the cloud's own fiber takes long detours here: with factors up to
+// 3x the great circle, the backbone mesh violates the triangle inequality
+// all over, so the delay-shortest DC-to-DC route is often a genuine
+// k>=2-hop chain rather than the direct edge.
+topo::CloudParams pathological_cloud() {
+  topo::CloudParams cp;
+  cp.backbone_detour_lo = 1.0;
+  cp.backbone_detour_hi = 3.0;
+  return cp;
+}
+
+struct RunResult {
+  std::uint64_t decision_fp = 0;
+  std::uint64_t table_fp = 0;
+  long measured_pairs = 0;
+  long multihop_pairs = 0;  ///< measured pairs whose best is kMultiHop
+  long detour_best = 0;     ///< ... whose via chain is > 2 DCs long
+  long detour_routes_mid = 0;  ///< plane routes with >= 2 backbone hops mid-episode
+  int rounds = 0;
+  int flaps = 0;
+  int convergence_round = -1;
+  long admitted = 0;
+  std::uint64_t via_overlay = 0;
+};
+
+// One full control-plane run. num_shards == 0 drives the single Broker;
+// otherwise a ShardedBroker with that many shards. Everything else —
+// world, plane config, workload, congestion episode — is identical, so
+// every RunResult field must be bitwise identical across the three runs.
+RunResult run_one(route::Policy policy, int num_shards, bool smoke) {
+  wkld::World world(bench::world_seed(), pathological_topology(),
+                    pathological_cloud());
+  auto& net = world.internet();
+  const auto clients = world.make_web_clients(smoke ? 16 : 48);
+  const auto servers = world.make_servers();
+  const auto overlays = world.rent_all_overlays();
+
+  const sim::Time horizon = sim::Time::seconds(smoke ? 60 : 180);
+
+  // Severe congestion on the ams<->wdc backbone edge for the middle half
+  // of the run: the transatlantic detour lon sits right next to ams, so a
+  // working plane reroutes ams->wdc as ams->lon->wdc (a k=2 backbone
+  // detour) while the episode lasts, then flaps back. Events are added
+  // before any listener registers, so they are part of the world, not a
+  // mid-run mutation — all control planes see the identical timeline.
+  const int ams = net.dc_endpoint("ams");
+  const int wdc = net.dc_endpoint("wdc");
+  int backbone_link = -1;
+  for (const auto& tr : net.backbone_path(ams, wdc).traversals) {
+    if (net.links()[static_cast<std::size_t>(tr.link_id)].is_backbone) {
+      backbone_link = tr.link_id;
+      break;
+    }
+  }
+  topo::LinkEvent ev;
+  ev.link_id = backbone_link;
+  ev.from = horizon / 4;
+  ev.until = (horizon / 4) * 3;
+  ev.util_boost = 0.9;
+  ev.loss_boost = 0.02;
+  ev.forward = true;
+  net.add_event(ev);
+  ev.forward = false;
+  net.add_event(ev);
+
+  route::RouteConfig rcfg;
+  rcfg.policy = policy;
+  rcfg.round_interval = sim::Time::seconds(1);
+  route::RoutePlane plane(&net, &world.flow(), world.seed(), rcfg);
+
+  service::BrokerConfig cfg;
+  cfg.probe.interval = sim::Time::seconds(10);
+  cfg.probe.tick = sim::Time::seconds(1);
+  const std::size_t num_pairs = clients.size() * servers.size();
+  cfg.probe.budget_per_tick = static_cast<int>((num_pairs + 9) / 10);
+  cfg.failover_delay = sim::Time::seconds(1);
+  cfg.ranking.route_plane = &plane;
+
+  std::unique_ptr<service::Broker> single;
+  std::unique_ptr<service::ShardedBroker> sharded;
+  service::ControlPlane* plane_owner = nullptr;
+  if (num_shards == 0) {
+    single = std::make_unique<service::Broker>(&net, &world.meter(),
+                                               &world.pool(), overlays, cfg);
+    plane_owner = single.get();
+  } else {
+    sharded = std::make_unique<service::ShardedBroker>(
+        &net, &world.meter(), &world.pool(), overlays, num_shards, cfg);
+    plane_owner = sharded.get();
+  }
+
+  wkld::SessionChurnParams churn_params;
+  churn_params.seed = bench::world_seed() ^ 0x90f7e5;
+  churn_params.target_concurrent = smoke ? 400 : 2000;
+  churn_params.mean_duration_s = 30.0;
+  churn_params.horizon = horizon;
+  wkld::SessionChurn churn(plane_owner, clients, servers, churn_params);
+  churn.start();
+  if (single) single->warm_up();
+  if (sharded) sharded->warm_up();
+
+  // Snapshot the plane's detour count in the middle of the congestion
+  // episode (the +1 ms offset orders the snapshot after that second's
+  // routing round, deterministically).
+  RunResult r;
+  plane_owner->queue().schedule(
+      horizon / 2 + sim::Time::milliseconds(1), [&] {
+        std::vector<int> via;
+        const auto& eps = net.dc_endpoints();
+        for (int a : eps) {
+          for (int b : eps) {
+            if (a == b) continue;
+            if (plane.route(a, b, &via) && via.size() > 2) {
+              ++r.detour_routes_mid;
+            }
+          }
+        }
+      });
+
+  plane_owner->run_until(horizon);
+
+  const auto count_pair = [&r](const service::PairState& p) {
+    if (p.last_probe.ns() < 0) return;
+    ++r.measured_pairs;
+    const auto& best = p.candidates[static_cast<std::size_t>(p.best)];
+    if (best.kind == core::PathKind::kMultiHop && best.measured &&
+        best.score_bps > 0.0) {
+      ++r.multihop_pairs;
+      if (best.via.size() > 2) ++r.detour_best;
+    }
+  };
+  if (single) {
+    const auto& st = single->stats();
+    r.admitted = static_cast<long>(st.sessions_admitted);
+    r.via_overlay = st.admitted_via_overlay;
+    // The per-pair-merged fingerprint (pair_decision_term keyed by pair
+    // index == global id), the same construction the sharded control
+    // plane aggregates — the single broker is the 1-partition reference.
+    r.decision_fp = single->ranker().partial_decision_fingerprint();
+    for (std::size_t i = 0; i < single->ranker().size(); ++i) {
+      count_pair(single->ranker().pair(static_cast<int>(i)));
+    }
+  } else {
+    const auto st = sharded->stats();
+    r.admitted = static_cast<long>(st.sessions_admitted);
+    r.via_overlay = st.admitted_via_overlay;
+    r.decision_fp = st.decision_fingerprint;
+    for (std::size_t g = 0; g < sharded->pair_count(); ++g) {
+      count_pair(sharded->pair(static_cast<int>(g)));
+    }
+  }
+  r.table_fp = plane.table_fingerprint();
+  r.rounds = plane.rounds();
+  r.flaps = plane.flaps();
+  r.convergence_round = plane.convergence_round();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = bench::quick_mode();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::print_header("routing plane",
+                      "k-hop overlay routing on a pathological topology");
+  bench::BenchRun run("bench_multihop_routing", smoke);
+  std::printf("-- config: threads=%d\n", sim::Parallelism{}.resolved());
+
+  std::vector<bench::PaperCheck> checks;
+  long admitted_total = 0;
+  for (const route::Policy policy :
+       {route::Policy::kDelay, route::Policy::kBackpressure}) {
+    const std::string tag = route::policy_name(policy);
+    const RunResult broker = run_one(policy, /*num_shards=*/0, smoke);
+    const RunResult s1 = run_one(policy, 1, smoke);
+    const RunResult s8 = run_one(policy, 8, smoke);
+    admitted_total += broker.admitted;
+
+    const double win_rate =
+        broker.measured_pairs > 0
+            ? static_cast<double>(broker.multihop_pairs) /
+                  static_cast<double>(broker.measured_pairs)
+            : 0.0;
+    std::printf("== policy %s\n", tag.c_str());
+    std::printf("pairs measured %ld, won by multi-hop %ld (win-rate %.3f), "
+                "best-route detours %ld\n",
+                broker.measured_pairs, broker.multihop_pairs, win_rate,
+                broker.detour_best);
+    std::printf("plane: %d rounds, %d flaps, converged at round %d, "
+                "%ld detour routes mid-episode\n",
+                broker.rounds, broker.flaps, broker.convergence_round,
+                broker.detour_routes_mid);
+    std::printf("admitted %ld sessions (%llu via overlay)\n", broker.admitted,
+                static_cast<unsigned long long>(broker.via_overlay));
+    std::printf("table fp %016llx | decisions fp %016llx | sharded(1) %s | "
+                "sharded(8) %s\n",
+                static_cast<unsigned long long>(broker.table_fp),
+                static_cast<unsigned long long>(broker.decision_fp),
+                s1.decision_fp == broker.decision_fp ? "==" : "DIVERGED",
+                s8.decision_fp == broker.decision_fp ? "==" : "DIVERGED");
+
+    const bool tables_equal =
+        s1.table_fp == broker.table_fp && s8.table_fp == broker.table_fp;
+    checks.push_back({tag + ": pairs won by multi-hop (k>=2)", 0.0,
+                      static_cast<double>(broker.multihop_pairs)});
+    checks.push_back({tag + ": k>=2 win-rate positive (1=yes)", 1.0,
+                      broker.multihop_pairs > 0 ? 1.0 : 0.0});
+    checks.push_back({tag + ": win-rate vs one-hop", 0.0, win_rate});
+    checks.push_back({tag + ": detour routes mid-episode", 0.0,
+                      static_cast<double>(broker.detour_routes_mid)});
+    checks.push_back({tag + ": plane rounds", 0.0,
+                      static_cast<double>(broker.rounds)});
+    checks.push_back({tag + ": route flaps", 0.0,
+                      static_cast<double>(broker.flaps)});
+    checks.push_back({tag + ": convergence round", 0.0,
+                      static_cast<double>(broker.convergence_round)});
+    checks.push_back({tag + ": routing-table fingerprint (low 32 bits)", -1.0,
+                      static_cast<double>(broker.table_fp & 0xffffffffu)});
+    checks.push_back({tag + ": decision fingerprint (low 32 bits)", -1.0,
+                      static_cast<double>(broker.decision_fp & 0xffffffffu)});
+    checks.push_back({tag + ": sharded decisions == broker (1=yes)", 1.0,
+                      s1.decision_fp == broker.decision_fp &&
+                              s8.decision_fp == broker.decision_fp
+                          ? 1.0
+                          : 0.0});
+    checks.push_back({tag + ": sharded routing table == broker (1=yes)", 1.0,
+                      tables_equal ? 1.0 : 0.0});
+  }
+
+  run.set_pairs(admitted_total);
+  run.finish(checks);
+  return 0;
+}

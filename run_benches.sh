@@ -30,6 +30,8 @@ declare -A json_of=(
   [bench_service_scale]=bench_service_scale.json
   [bench_chaos]=bench_chaos.json
   [bench_micro]=bench_micro.json
+  [bench_multihop_routing]=bench_multihop_routing.json
+  [bench_ablation_multihop]=bench_ablation_multihop.json
 )
 
 failed=()

@@ -49,11 +49,6 @@ BatchScratch& batch_scratch() {
   return scratch;
 }
 
-std::uint64_t pair_key(int src, int dst) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-         static_cast<std::uint32_t>(dst);
-}
-
 }  // namespace
 
 int probe_batch_size() {
@@ -140,7 +135,7 @@ PairSample ModelMeasurement::measure(int src_ep, int dst_ep,
     OverlaySample s;
     s.overlay_ep = o;
     s.plain_bps = flow_->overlay_plain(m1, m2, rng);
-    s.split_bps = flow_->overlay_split(m1, m2, rng);
+    s.split_bps = flow_->overlay_split(m1, m2, rng, &s.leg1_bps, &s.leg2_bps);
     s.discrete_bps = flow_->discrete(m1, m2, rng);
     const model::PathMetrics combined = model::FlowModel::concat(m1, m2);
     s.rtt_ms = combined.rtt_ms;
@@ -172,7 +167,7 @@ void ModelMeasurement::measure_batch(const ProbeRequest* reqs, std::size_t n,
   S.handles.clear();
   for (std::size_t i = 0; i < n; ++i) {
     const ProbeRequest& r = reqs[i];
-    PairPlan& plan = S.plans[pair_key(r.src, r.dst)];
+    PairPlan& plan = S.plans[sim::pack_pair(r.src, r.dst)];
     // A different overlay set for the same pair (rare: distinct call sites)
     // rebuilds in place.
     if (plan.handles.empty() || plan.overlays != *r.overlays) {
@@ -283,6 +278,8 @@ void ModelMeasurement::measure_batch(const ProbeRequest* reqs, std::size_t n,
       s.plain_bps = finish_tcp(pftk_cm, cm, rng);
       const double t1 = finish_tcp(pftk_1, m1, rng);
       const double t2 = finish_tcp(pftk_2, m2, rng);
+      s.leg1_bps = t1;
+      s.leg2_bps = t2;
       s.split_bps = 0.97 * std::min(t1, t2);
       // discrete() draws inside an unsequenced std::min call; the compiler
       // evaluates the second leg first, so mirror that draw order here

@@ -14,6 +14,11 @@ struct OverlaySample {
   double plain_bps = 0.0;
   double split_bps = 0.0;
   double discrete_bps = 0.0;
+  /// The two per-leg TCP rates behind split_bps (= 0.97 * min of them).
+  /// The multi-hop ranker composes k-hop scores from leg1 of the entry VM
+  /// and leg2 of the exit VM, so no extra measurement draws are needed.
+  double leg1_bps = 0.0;  ///< src -> overlay VM
+  double leg2_bps = 0.0;  ///< overlay VM -> dst
   double rtt_ms = 0.0;   ///< end-to-end RTT through the overlay
   double loss = 0.0;     ///< end-to-end loss through the overlay
 };

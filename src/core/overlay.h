@@ -8,8 +8,10 @@
 
 namespace cronets::core {
 
-/// The four path types measured in the paper (§II-A).
-enum class PathKind { kDirect, kOverlay, kSplitOverlay, kDiscrete };
+/// The four path types measured in the paper (§II-A), plus the k-hop
+/// composed route of the multi-hop routing plane (src/route/): split-TCP
+/// at two or more relay VMs with the middle legs on the cloud backbone.
+enum class PathKind { kDirect, kOverlay, kSplitOverlay, kDiscrete, kMultiHop };
 
 inline const char* path_kind_name(PathKind k) {
   switch (k) {
@@ -17,6 +19,7 @@ inline const char* path_kind_name(PathKind k) {
     case PathKind::kOverlay: return "overlay";
     case PathKind::kSplitOverlay: return "split-overlay";
     case PathKind::kDiscrete: return "discrete";
+    case PathKind::kMultiHop: return "multi-hop";
   }
   return "?";
 }

@@ -367,10 +367,18 @@ double FlowModel::overlay_plain(const PathMetrics& leg1, const PathMetrics& leg2
 
 double FlowModel::overlay_split(const PathMetrics& leg1, const PathMetrics& leg2,
                                 sim::Rng& rng) const {
+  return overlay_split(leg1, leg2, rng, nullptr, nullptr);
+}
+
+double FlowModel::overlay_split(const PathMetrics& leg1, const PathMetrics& leg2,
+                                sim::Rng& rng, double* leg1_bps,
+                                double* leg2_bps) const {
   // Each leg runs its own TCP; the proxy relays with ample buffer. A small
   // efficiency haircut models the proxy's buffer coupling.
   const double t1 = tcp_throughput(leg1, rng);
   const double t2 = tcp_throughput(leg2, rng);
+  if (leg1_bps != nullptr) *leg1_bps = t1;
+  if (leg2_bps != nullptr) *leg2_bps = t2;
   return 0.97 * std::min(t1, t2);
 }
 

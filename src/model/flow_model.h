@@ -145,6 +145,12 @@ class FlowModel {
   /// Split-TCP at the overlay node: min of the two legs' own TCP rates.
   double overlay_split(const PathMetrics& leg1, const PathMetrics& leg2,
                        sim::Rng& rng) const;
+  /// Same draws, same result, but also exposes the two per-leg TCP rates
+  /// (either out pointer may be null). The multi-hop ranker reuses a
+  /// one-hop probe's leg rates to score k-hop compositions without any
+  /// extra measurement draws.
+  double overlay_split(const PathMetrics& leg1, const PathMetrics& leg2,
+                       sim::Rng& rng, double* leg1_bps, double* leg2_bps) const;
   /// Discrete bound: min of independently measured legs (no tunnel cost).
   double discrete(const PathMetrics& leg1, const PathMetrics& leg2,
                   sim::Rng& rng) const;

@@ -1,0 +1,133 @@
+#include "route/overlay_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/hash_rng.h"
+
+namespace cronets::route {
+
+OverlayGraph::OverlayGraph(topo::Internet* topo, const model::FlowModel* flow,
+                           std::uint64_t seed, double ewma_alpha)
+    : topo_(topo),
+      flow_(flow),
+      seed_(seed),
+      alpha_(ewma_alpha),
+      sampler_(flow) {
+  eps_ = topo_->dc_endpoints();
+  n_ = static_cast<int>(eps_.size());
+  as_.resize(eps_.size());
+  for (int i = 0; i < n_; ++i) {
+    as_[static_cast<std::size_t>(i)] = topo_->endpoint(eps_[i]).as_id;
+    node_of_ep_.emplace(eps_[i], i);
+  }
+  edges_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+  handles_.resize(static_cast<std::size_t>(n_) * (n_ > 0 ? n_ - 1 : 0));
+  up_.assign(eps_.size(), 1);
+  refresh_liveness();
+  listener_id_ = topo_->add_mutation_listener([this](const topo::Mutation& m) {
+    if (m.kind == topo::Mutation::Kind::kAdjacencyChange) {
+      refresh_liveness();
+      ++liveness_epoch_;
+    }
+  });
+}
+
+OverlayGraph::~OverlayGraph() {
+  if (listener_id_ >= 0) topo_->remove_mutation_listener(listener_id_);
+}
+
+void OverlayGraph::refresh_liveness() {
+  // A DC is alive while its cloud AS still has any BGP adjacency up; the
+  // chaos engine's kDcOutage takes all of them down at once.
+  const auto& ases = topo_->ases();
+  for (int i = 0; i < n_; ++i) {
+    bool any = false;
+    for (const auto& a : ases[static_cast<std::size_t>(as_[i])].adj) {
+      if (a.up) {
+        any = true;
+        break;
+      }
+    }
+    up_[static_cast<std::size_t>(i)] = any ? 1 : 0;
+  }
+}
+
+void OverlayGraph::measure_all(sim::Time t) {
+  const std::size_t m = handles_.size();
+  if (m == 0) return;
+  const bool reset = sampler_.begin_batch();
+  if (reset || !handles_valid_) {
+    std::size_t k = 0;
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        if (j == i) continue;
+        EdgeState& e = edge(i, j);
+        e.path = topo_->cached_backbone_path(eps_[i], eps_[j]);
+        handles_[k++] = sampler_.intern(e.path);
+      }
+    }
+    handles_valid_ = true;
+  }
+
+  metrics_.resize(m);
+  sampler_.sample_batch(handles_.data(), m, t, metrics_.data());
+
+  // Flat PFTK over all edges (SIMD-dispatched, bitwise level-invariant),
+  // then the same two per-edge noise draws FlowModel::tcp_throughput makes,
+  // from a stream keyed on (seed, src VM, dst VM, t) — so an edge estimate
+  // never depends on measurement order.
+  const model::TcpModelParams& p = flow_->params();
+  rtt_ms_.clear();
+  loss_.clear();
+  residual_bps_.clear();
+  capacity_bps_.clear();
+  rwnd_bytes_.clear();
+  std::size_t k = 0;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      if (j == i) continue;
+      model::PathMetrics& mm = metrics_[k++];
+      mm.rwnd_bytes = static_cast<double>(topo_->endpoint(eps_[j]).rcv_buf);
+      rtt_ms_.push_back(mm.rtt_ms);
+      loss_.push_back(mm.loss);
+      residual_bps_.push_back(mm.residual_bps);
+      capacity_bps_.push_back(mm.capacity_bps);
+      rwnd_bytes_.push_back(mm.rwnd_bytes);
+    }
+  }
+  pftk_bps_.resize(m);
+  model::pftk_throughput_batch(m, rtt_ms_.data(), loss_.data(),
+                               residual_bps_.data(), capacity_bps_.data(),
+                               rwnd_bytes_.data(), p, pftk_bps_.data());
+
+  const double sigma = p.noise_sigma;
+  k = 0;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      if (j == i) continue;
+      const model::PathMetrics& mm = metrics_[k];
+      sim::Rng rng(
+          sim::pair_seed(seed_ ^ flow_->seed(), eps_[i], eps_[j], t.ns()));
+      double v = pftk_bps_[k];
+      const double cap = std::min(mm.residual_bps, mm.capacity_bps);
+      if (v > 0.92 * cap) v = cap * rng.uniform(0.88, 0.96);
+      v *= std::exp(rng.normal(0.0, sigma));
+      EdgeState& e = edge(i, j);
+      e.last_bps = v;
+      e.last_delay_ms = mm.rtt_ms;
+      if (e.measured) {
+        e.ewma_bps = alpha_ * v + (1.0 - alpha_) * e.ewma_bps;
+        e.ewma_delay_ms = alpha_ * mm.rtt_ms + (1.0 - alpha_) * e.ewma_delay_ms;
+      } else {
+        e.ewma_bps = v;
+        e.ewma_delay_ms = mm.rtt_ms;
+        e.measured = true;
+      }
+      ++k;
+    }
+  }
+  ++rounds_measured_;
+}
+
+}  // namespace cronets::route

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/batch_sampler.h"
+#include "model/flow_model.h"
+#include "sim/time.h"
+#include "topo/internet.h"
+
+namespace cronets::route {
+
+/// The routing plane's view of the cloud: one node per data-center VM
+/// endpoint, one directed edge per ordered DC pair, riding the private
+/// backbone (topo::Internet::cached_backbone_path). Edges carry EWMA
+/// estimates of backbone TCP rate and delay, refreshed once per routing
+/// round through the SoA batch sampler — the same measurement kernel the
+/// probe sweeps use, so an edge estimate is bitwise a pure function of
+/// (seed, src VM, dst VM, t) at every SIMD level.
+///
+/// Liveness piggybacks on the Internet's mutation listeners: a BGP
+/// adjacency change (chaos DC outages flip every adjacency of one cloud
+/// AS) re-derives per-node up/down eagerly and bumps `liveness_epoch`, so
+/// routes composed before the outage can be recognized as stale without
+/// polling. Backbone links are plain links, not AS adjacencies — they stay
+/// "up" through a DC outage, and reachability is gated purely on node
+/// liveness, mirroring how a provider's WAN survives one site going dark.
+class OverlayGraph {
+ public:
+  OverlayGraph(topo::Internet* topo, const model::FlowModel* flow,
+               std::uint64_t seed, double ewma_alpha);
+  ~OverlayGraph();
+  OverlayGraph(const OverlayGraph&) = delete;
+  OverlayGraph& operator=(const OverlayGraph&) = delete;
+
+  int size() const { return n_; }
+  int node_ep(int i) const { return eps_[static_cast<std::size_t>(i)]; }
+  /// Node index of a DC VM endpoint; -1 for non-DC endpoints.
+  int node_of_ep(int ep) const {
+    const auto it = node_of_ep_.find(ep);
+    return it == node_of_ep_.end() ? -1 : it->second;
+  }
+  bool node_up(int i) const { return up_[static_cast<std::size_t>(i)] != 0; }
+  /// Bumped by every BGP adjacency change (the only mutation that can
+  /// change node liveness). Part of RoutePlane::route_version.
+  std::uint64_t liveness_epoch() const { return liveness_epoch_; }
+
+  /// Measure every directed backbone edge at time `t` and fold the result
+  /// into the EWMA estimates. All n*(n-1) edges are measured every round
+  /// regardless of liveness — constant work per round, and a recovering DC
+  /// has fresh estimates the moment it is back up.
+  void measure_all(sim::Time t);
+
+  bool edge_measured(int i, int j) const { return edge(i, j).measured; }
+  double ewma_bps(int i, int j) const { return edge(i, j).ewma_bps; }
+  double ewma_delay_ms(int i, int j) const { return edge(i, j).ewma_delay_ms; }
+  double last_bps(int i, int j) const { return edge(i, j).last_bps; }
+  double last_delay_ms(int i, int j) const { return edge(i, j).last_delay_ms; }
+
+  int rounds_measured() const { return rounds_measured_; }
+
+ private:
+  struct EdgeState {
+    topo::PathRef path;  ///< interned backbone segment (pins the pointer)
+    double ewma_bps = 0.0;
+    double ewma_delay_ms = 0.0;
+    double last_bps = 0.0;
+    double last_delay_ms = 0.0;
+    bool measured = false;
+  };
+
+  const EdgeState& edge(int i, int j) const {
+    return edges_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+                  static_cast<std::size_t>(j)];
+  }
+  EdgeState& edge(int i, int j) {
+    return edges_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+                  static_cast<std::size_t>(j)];
+  }
+  void refresh_liveness();
+
+  topo::Internet* topo_;
+  const model::FlowModel* flow_;
+  std::uint64_t seed_;
+  double alpha_;
+
+  int n_ = 0;
+  std::vector<int> eps_;  ///< node index -> DC VM endpoint id
+  std::vector<int> as_;   ///< node index -> cloud AS id
+  std::unordered_map<int, int> node_of_ep_;
+  std::vector<char> up_;
+  std::uint64_t liveness_epoch_ = 0;
+  int listener_id_ = -1;
+  int rounds_measured_ = 0;
+
+  std::vector<EdgeState> edges_;  ///< n*n row-major; diagonal unused
+
+  // Batched measurement machinery (scratch persists across rounds so a
+  // warm round allocates nothing).
+  model::BatchSampler sampler_;
+  std::vector<int> handles_;  ///< per edge, row-major skipping the diagonal
+  bool handles_valid_ = false;
+  std::vector<model::PathMetrics> metrics_;
+  std::vector<double> rtt_ms_, loss_, residual_bps_, capacity_bps_,
+      rwnd_bytes_, pftk_bps_;
+};
+
+}  // namespace cronets::route

@@ -1,0 +1,221 @@
+#include "route/policy.h"
+
+#include <algorithm>
+
+#include "sim/env.h"
+
+namespace cronets::route {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kOff:
+      return "off";
+    case Policy::kDelay:
+      return "delay";
+    case Policy::kBackpressure:
+      return "backpressure";
+  }
+  return "?";
+}
+
+RouteConfig RouteConfig::from_env() {
+  RouteConfig cfg;
+  const int p = sim::env_choice("CRONETS_ROUTE_POLICY", 0,
+                                {"off", "delay", "backpressure"});
+  cfg.policy = p == 1   ? Policy::kDelay
+               : p == 2 ? Policy::kBackpressure
+                        : Policy::kOff;
+  cfg.max_hops =
+      static_cast<int>(sim::env_int("CRONETS_MAX_HOPS", cfg.max_hops, 1, 8));
+  return cfg;
+}
+
+namespace {
+
+/// Distance-vector over EWMA backbone delay (the overlay analogue of
+/// Jonglez's delay-based detour selection, arXiv:1403.3488): split horizon,
+/// bounded hop count, and hysteresis so a next-hop only changes when the
+/// challenger is decisively faster — chatty-metric flapping is the classic
+/// DV failure mode and the thing the flap counters in the bench watch.
+class DelayPolicy final : public RoutePolicy {
+ public:
+  explicit DelayPolicy(const RouteConfig& cfg)
+      : max_hops_(cfg.max_hops), hysteresis_(cfg.hysteresis) {}
+
+  const char* name() const override { return "delay"; }
+
+  void round(const OverlayGraph& g,
+             std::vector<RoutingAgent>* agents) override {
+    const int n = g.size();
+    // Round-start snapshot: every agent advertises the table it ended the
+    // previous round with, so in-round updates cannot leak sideways.
+    adv_.resize(agents->size());
+    for (std::size_t i = 0; i < agents->size(); ++i) {
+      adv_[i] = (*agents)[i].table;
+    }
+    for (int i = 0; i < n; ++i) {
+      RoutingAgent& a = (*agents)[i];
+      if (!g.node_up(i)) {
+        for (int d = 0; d < n; ++d) {
+          if (d != i) a.table[static_cast<std::size_t>(d)] = RouteEntry{};
+        }
+        continue;
+      }
+      for (int d = 0; d < n; ++d) {
+        if (d == i) continue;
+        const int inc_next = a.table[static_cast<std::size_t>(d)].next;
+        RouteEntry best;
+        RouteEntry inc_fresh;  // the incumbent next-hop's metric this round
+        // Candidates in ascending next-hop index with strict improvement,
+        // so ties always resolve to the lowest node index.
+        for (int j = 0; j < n; ++j) {
+          if (j == i || !g.node_up(j) || !g.edge_measured(i, j)) continue;
+          RouteEntry cand;
+          if (j == d) {
+            // The direct backbone edge.
+            cand = RouteEntry{d, g.ewma_delay_ms(i, d), 1};
+          } else {
+            const RouteEntry& via = adv_[static_cast<std::size_t>(j)]
+                                        [static_cast<std::size_t>(d)];
+            // Split horizon: never route towards a neighbour whose own
+            // route points back through us.
+            if (via.next < 0 || via.next == i) continue;
+            if (1 + via.hops > max_hops_) continue;
+            cand = RouteEntry{j, g.ewma_delay_ms(i, j) + via.metric,
+                              1 + via.hops};
+          }
+          if (cand.next == inc_next) inc_fresh = cand;
+          if (cand.metric < best.metric) best = cand;
+        }
+        RouteEntry& out = a.table[static_cast<std::size_t>(d)];
+        if (best.next < 0) {
+          out = RouteEntry{};
+        } else if (inc_fresh.next >= 0 && best.next != inc_fresh.next &&
+                   !(best.metric < inc_fresh.metric * (1.0 - hysteresis_))) {
+          // A usable incumbent keeps the route unless the challenger beats
+          // it by the hysteresis margin; its metric still refreshes.
+          out = inc_fresh;
+        } else {
+          out = best;
+        }
+      }
+    }
+  }
+
+ private:
+  int max_hops_;
+  double hysteresis_;
+  std::vector<std::vector<RouteEntry>> adv_;
+};
+
+/// Backpressure routing on per-destination virtual queues (Rai, Singh,
+/// Modiano, arXiv:1612.05537): each round injects `bp_arrival` units of
+/// virtual work per commodity, then every node forwards to the neighbour
+/// maximizing (queue differential) x (edge rate). The next-hop choice IS
+/// the routing table; throughput-optimal under stability, at the cost of
+/// not minimizing delay. Decisions read the round-start queue snapshot;
+/// transfers then apply to the live queues in (node, destination) order —
+/// fully deterministic.
+class BackpressurePolicy final : public RoutePolicy {
+ public:
+  explicit BackpressurePolicy(const RouteConfig& cfg)
+      : arrival_(cfg.bp_arrival),
+        drain_(cfg.bp_drain),
+        rate_ref_bps_(cfg.bp_rate_ref_bps) {}
+
+  const char* name() const override { return "backpressure"; }
+
+  void round(const OverlayGraph& g,
+             std::vector<RoutingAgent>* agents) override {
+    const int n = g.size();
+    for (int i = 0; i < n; ++i) {
+      RoutingAgent& a = (*agents)[i];
+      if (!g.node_up(i)) {
+        // A dark DC drops its buffered virtual work and withdraws routes.
+        std::fill(a.queue.begin(), a.queue.end(), 0.0);
+        for (int d = 0; d < n; ++d) {
+          if (d != i) a.table[static_cast<std::size_t>(d)] = RouteEntry{};
+        }
+        continue;
+      }
+      for (int d = 0; d < n; ++d) {
+        if (d != i && g.node_up(d)) {
+          a.queue[static_cast<std::size_t>(d)] += arrival_;
+        }
+      }
+    }
+    qsnap_.resize(agents->size());
+    for (std::size_t i = 0; i < agents->size(); ++i) {
+      qsnap_[i] = (*agents)[i].queue;
+    }
+    for (int i = 0; i < n; ++i) {
+      RoutingAgent& a = (*agents)[i];
+      if (!g.node_up(i)) continue;  // table already withdrawn above
+      for (int d = 0; d < n; ++d) {
+        if (d == i) continue;
+        int best_j = -1;
+        double best_w = 0.0;
+        for (int j = 0; j < n; ++j) {
+          if (j == i || !g.node_up(j) || !g.edge_measured(i, j)) continue;
+          // The destination itself sinks its commodity: differential
+          // against an implicit empty queue.
+          const double qj = j == d ? 0.0
+                                   : qsnap_[static_cast<std::size_t>(j)]
+                                           [static_cast<std::size_t>(d)];
+          const double w =
+              (qsnap_[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(d)] -
+               qj) *
+              g.ewma_bps(i, j);
+          // Strict improvement: ties go to the lowest neighbour index, and
+          // a non-positive differential forwards nowhere this round.
+          if (w > best_w) {
+            best_w = w;
+            best_j = j;
+          }
+        }
+        RouteEntry& out = a.table[static_cast<std::size_t>(d)];
+        if (best_j < 0) {
+          out = RouteEntry{};
+        } else {
+          out = RouteEntry{best_j, -best_w, 1};
+          // Service is rate-limited: an edge running below the reference
+          // rate hands over proportionally less virtual work, so a
+          // congested edge backs its commodity up until the differential
+          // steers it around.
+          const double service =
+              drain_ * std::min(1.0, g.ewma_bps(i, best_j) / rate_ref_bps_);
+          const double amount =
+              std::min(a.queue[static_cast<std::size_t>(d)], service);
+          a.queue[static_cast<std::size_t>(d)] -= amount;
+          if (best_j != d) {
+            (*agents)[static_cast<std::size_t>(best_j)]
+                .queue[static_cast<std::size_t>(d)] += amount;
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  double arrival_;
+  double drain_;
+  double rate_ref_bps_;
+  std::vector<std::vector<double>> qsnap_;
+};
+
+}  // namespace
+
+std::unique_ptr<RoutePolicy> make_policy(const RouteConfig& cfg) {
+  switch (cfg.policy) {
+    case Policy::kDelay:
+      return std::make_unique<DelayPolicy>(cfg);
+    case Policy::kBackpressure:
+      return std::make_unique<BackpressurePolicy>(cfg);
+    case Policy::kOff:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace cronets::route

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "route/overlay_graph.h"
+#include "route/routing_agent.h"
+#include "sim/time.h"
+
+namespace cronets::route {
+
+/// Which metric drives the distance-vector exchange.
+enum class Policy {
+  kOff,           ///< plane disabled: no multi-hop candidates anywhere
+  kDelay,         ///< EWMA backbone delay + hysteresis (Jonglez-style DV)
+  kBackpressure,  ///< per-destination virtual-queue differentials
+};
+
+const char* policy_name(Policy p);
+
+/// Knobs of the routing plane. `from_env` reads the CRONETS_ROUTE_POLICY /
+/// CRONETS_MAX_HOPS environment knobs through sim/env.h; everything else
+/// keeps its default unless a bench or test overrides it in code.
+struct RouteConfig {
+  Policy policy = Policy::kOff;
+  /// Maximum overlay hops (backbone edges) a composed route may take.
+  /// 1 = plain one-hop relays only; the paper's 2-hop detours need >= 2.
+  int max_hops = 3;
+  double ewma_alpha = 0.3;  ///< edge-estimate smoothing (matches the ranker)
+  /// Delay policy: a challenger next-hop must beat the incumbent's fresh
+  /// metric by this relative margin to displace it (route-flap damping).
+  double hysteresis = 0.10;
+  sim::Time round_interval = sim::Time::seconds(1);
+  /// Backpressure: virtual work injected per (up src, up dst) per round,
+  /// and the per-destination amount one node may hand downstream per round
+  /// over an edge running at `bp_rate_ref_bps` (the Softlayer VM NIC).
+  /// Slower edges drain proportionally less, so severe congestion on an
+  /// edge backs work up behind it and the differential steers around it —
+  /// queues stay bounded while drain capacity exceeds arrivals.
+  double bp_arrival = 1.0;
+  double bp_drain = 4.0;
+  double bp_rate_ref_bps = 100e6;
+
+  static RouteConfig from_env();
+};
+
+/// One metric-exchange discipline over the overlay graph. A `round` is a
+/// synchronous Bellman-Ford-style step: every agent recomputes its table
+/// from the round-start snapshot of its neighbours' tables, in node index
+/// order — deterministic by construction, no tie ever resolved by arrival
+/// order or wall clock.
+class RoutePolicy {
+ public:
+  virtual ~RoutePolicy() = default;
+  virtual const char* name() const = 0;
+  virtual void round(const OverlayGraph& g,
+                     std::vector<RoutingAgent>* agents) = 0;
+};
+
+/// Policy factory; returns null for Policy::kOff.
+std::unique_ptr<RoutePolicy> make_policy(const RouteConfig& cfg);
+
+}  // namespace cronets::route

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace cronets::route {
+
+/// "Unreachable" metric sentinel of the routing tables.
+constexpr double kInfMetric = std::numeric_limits<double>::infinity();
+
+/// One destination's entry in a node's routing table. `metric` is
+/// policy-defined (EWMA path delay for the delay policy, negated
+/// backpressure weight for the backpressure policy) but always ordered so
+/// that lower is better; `next = -1` means unreachable this round.
+struct RouteEntry {
+  int next = -1;          ///< next-hop node index (-1: unreachable)
+  double metric = kInfMetric;
+  int hops = 0;           ///< overlay hops to the destination via `next`
+};
+
+/// Per-overlay-node routing state. Agents hold no pointers into the graph
+/// or the plane — a policy round is a pure function of (graph estimates,
+/// agent states), which is what makes the exchange trivially deterministic:
+/// rounds run in node index order on the single-threaded event queue, and
+/// every read of a neighbour's table goes through the round's snapshot.
+struct RoutingAgent {
+  int node = -1;
+  std::vector<RouteEntry> table;  ///< per destination node index
+  /// Backpressure per-destination virtual queue (unused by the delay
+  /// policy; kept here so the table fingerprint covers all policy state).
+  std::vector<double> queue;
+
+  void reset(int node_index, int n) {
+    node = node_index;
+    table.assign(static_cast<std::size_t>(n), RouteEntry{});
+    queue.assign(static_cast<std::size_t>(n), 0.0);
+    // Self route: zero cost, zero hops.
+    table[static_cast<std::size_t>(node_index)] =
+        RouteEntry{node_index, 0.0, 0};
+  }
+};
+
+}  // namespace cronets::route

@@ -28,8 +28,11 @@ int count_sessions_traversing(const PathRanker& ranker,
   sessions.for_each_live([&](std::uint64_t, const Session& s) {
     const PairState& p = ranker.pair(s.pair);
     const Candidate& c = p.candidates[static_cast<std::size_t>(s.candidate)];
-    const bool uses = (c.path && path_uses_adjacency(*c.path, as_a, as_b)) ||
-                      (c.leg2 && path_uses_adjacency(*c.leg2, as_a, as_b));
+    bool uses = (c.path && path_uses_adjacency(*c.path, as_a, as_b)) ||
+                (c.leg2 && path_uses_adjacency(*c.leg2, as_a, as_b));
+    for (const auto& mid : c.mids) {
+      if (!uses && mid && path_uses_adjacency(*mid, as_a, as_b)) uses = true;
+    }
     if (uses) ++count;
   });
   return count;
@@ -51,6 +54,9 @@ void accumulate_transit_load(const topo::Internet& topo,
     const PairState& p = ranker.pair(s.pair);
     const Candidate& c = p.candidates[static_cast<std::size_t>(s.candidate)];
     if (c.path) count_path(*c.path);
+    for (const auto& mid : c.mids) {
+      if (mid) count_path(*mid);
+    }
     if (c.leg2) count_path(*c.leg2);
   });
 }
@@ -93,6 +99,13 @@ Broker::Broker(topo::Internet* topo, const core::ModelMeasurement* meter,
   }
   listener_id_ = topo_->add_mutation_listener(
       [this](const topo::Mutation& m) { on_mutation(m); });
+  // Adopt an enabled routing plane onto this broker's queue: routing
+  // rounds then interleave with probe ticks at fixed simulated times, so
+  // every route the ranker reads is a pure function of (seed, config, t).
+  route::RoutePlane* plane = cfg_.ranking.route_plane;
+  if (plane != nullptr && plane->enabled() && !plane->attached()) {
+    plane->attach(&queue_, now_);
+  }
   queue_.schedule(now_ + cfg_.probe.tick, [this] { probe_tick(); });
 }
 
@@ -138,7 +151,7 @@ std::uint64_t Broker::open_session(int pair_idx, double demand_bps) {
   ++stats_.sessions_admitted;
   if (ranker_.pair(pair_idx)
           .candidates[static_cast<std::size_t>(s.candidate)]
-          .kind == core::PathKind::kSplitOverlay) {
+          .kind != core::PathKind::kDirect) {
     ++stats_.admitted_via_overlay;
   }
   stamp_decision(id, static_cast<std::uint64_t>(pair_idx),

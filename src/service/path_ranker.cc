@@ -5,13 +5,6 @@
 
 namespace cronets::service {
 
-namespace {
-std::uint64_t pair_key(int src, int dst) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-         static_cast<std::uint32_t>(dst);
-}
-}  // namespace
-
 bool path_uses_adjacency(const topo::RouterPath& path, int as_a, int as_b) {
   for (std::size_t i = 1; i < path.as_seq.size(); ++i) {
     const int u = path.as_seq[i - 1], v = path.as_seq[i];
@@ -26,7 +19,7 @@ PathRanker::PathRanker(topo::Internet* topo, RankerConfig cfg,
 
 int PathRanker::add_pair(int src, int dst) {
   const auto [it, inserted] =
-      index_.emplace(pair_key(src, dst), static_cast<int>(pairs_.size()));
+      index_.emplace(sim::pack_pair(src, dst), static_cast<int>(pairs_.size()));
   if (!inserted) return it->second;
   PairState p;
   p.src = src;
@@ -37,7 +30,7 @@ int PathRanker::add_pair(int src, int dst) {
 }
 
 int PathRanker::find_pair(int src, int dst) const {
-  const auto it = index_.find(pair_key(src, dst));
+  const auto it = index_.find(sim::pack_pair(src, dst));
   return it == index_.end() ? -1 : it->second;
 }
 
@@ -56,8 +49,43 @@ void PathRanker::build_candidates(PairState* p) const {
     c.leg2 = topo_->cached_path(o, p->dst);
     p->candidates.push_back(std::move(c));
   }
+  // Multi-hop candidates: every ordered (entry VM, exit VM) pair of plane
+  // nodes. The plane decides what happens between them; the candidate only
+  // pins where the pair enters and leaves the cloud. Scores compose from
+  // the same one-hop probe's per-leg rates, so the feature adds no
+  // measurement draws — rankings with the plane off are bitwise unchanged.
+  const route::RoutePlane* plane = cfg_.route_plane;
+  if (plane != nullptr && plane->enabled()) {
+    for (int oa : overlay_eps_) {
+      if (oa == p->src || oa == p->dst) continue;
+      if (plane->graph().node_of_ep(oa) < 0) continue;
+      for (int ob : overlay_eps_) {
+        if (ob == oa || ob == p->src || ob == p->dst) continue;
+        if (plane->graph().node_of_ep(ob) < 0) continue;
+        Candidate c;
+        c.kind = core::PathKind::kMultiHop;
+        c.overlay_ep = oa;
+        c.exit_ep = ob;
+        refresh_multihop(*p, &c);
+        p->candidates.push_back(std::move(c));
+      }
+    }
+  }
   p->best = 0;
   p->order_dirty = true;
+}
+
+void PathRanker::refresh_multihop(const PairState& p, Candidate* c) const {
+  const route::RoutePlane* plane = cfg_.route_plane;
+  c->via.clear();
+  c->mids.clear();
+  c->path = topo_->cached_path(p.src, c->overlay_ep);
+  c->leg2 = topo_->cached_path(c->exit_ep, p.dst);
+  if (plane == nullptr) return;
+  if (plane->route(c->overlay_ep, c->exit_ep, &c->via)) {
+    plane->composer().mid_segments(c->via, &c->mids);
+  }
+  c->route_ver = plane->route_version();
 }
 
 bool PathRanker::apply_sample(int idx, const core::PairSample& s, sim::Time t) {
@@ -76,6 +104,37 @@ bool PathRanker::apply_sample(int idx, const core::PairSample& s, sim::Time t) {
     double raw = -1.0;
     if (c.kind == core::PathKind::kDirect) {
       raw = s.direct_bps;
+    } else if (c.kind == core::PathKind::kMultiHop) {
+      const route::RoutePlane* plane = cfg_.route_plane;
+      if (plane == nullptr) continue;
+      // The plane's tables moved since this candidate's route was read:
+      // re-read before scoring so the score matches the route sessions
+      // would actually ride.
+      if (c.route_ver != plane->route_version()) refresh_multihop(p, &c);
+      // Compose from the one-hop probe's per-leg rates: leg 1 of the entry
+      // VM's split sample, leg 2 of the exit VM's, and the plane's EWMA
+      // bottleneck across the backbone hops. One 0.97 split-proxy haircut
+      // per VM in the chain (the one-hop relay pays exactly one).
+      double leg1 = -1.0, leg2 = -1.0;
+      for (const auto& o : s.overlays) {
+        if (o.overlay_ep == c.overlay_ep) leg1 = o.leg1_bps;
+        if (o.overlay_ep == c.exit_ep) leg2 = o.leg2_bps;
+      }
+      if (leg1 < 0.0 || leg2 < 0.0) continue;  // an end VM skipped this probe
+      if (c.via.empty()) {
+        raw = 0.0;  // no usable plane route right now
+      } else {
+        raw = std::min(leg1, leg2);
+        raw = std::min(raw, plane->route_bottleneck_bps(c.via));
+        for (std::size_t v = 0; v < c.via.size(); ++v) raw *= 0.97;
+        for (int ep : c.via) {
+          const int node = plane->graph().node_of_ep(ep);
+          if (node < 0 || !plane->graph().node_up(node)) raw = 0.0;
+        }
+        for (const auto& mid : c.mids) {
+          if (mid && !mid->valid) raw = 0.0;
+        }
+      }
     } else {
       for (const auto& o : s.overlays) {
         if (o.overlay_ep == c.overlay_ep) {
@@ -147,6 +206,8 @@ void PathRanker::refresh_paths(int idx) {
   for (Candidate& c : p.candidates) {
     if (c.kind == core::PathKind::kDirect) {
       c.path = topo_->cached_path(p.src, p.dst);
+    } else if (c.kind == core::PathKind::kMultiHop) {
+      refresh_multihop(p, &c);
     } else {
       c.path = topo_->cached_path(p.src, c.overlay_ep);
       c.leg2 = topo_->cached_path(c.overlay_ep, p.dst);
@@ -162,9 +223,24 @@ void PathRanker::mark_adjacency_down(int as_a, int as_b,
     PairState& p = pairs_[i];
     bool hit = false;
     for (Candidate& c : p.candidates) {
-      const bool uses =
-          (c.path && path_uses_adjacency(*c.path, as_a, as_b)) ||
-          (c.leg2 && path_uses_adjacency(*c.leg2, as_a, as_b));
+      bool uses = (c.path && path_uses_adjacency(*c.path, as_a, as_b)) ||
+                  (c.leg2 && path_uses_adjacency(*c.leg2, as_a, as_b));
+      for (const auto& mid : c.mids) {
+        if (!uses && mid && path_uses_adjacency(*mid, as_a, as_b)) uses = true;
+      }
+      // A DC outage downs every adjacency of the cloud AS; any multi-hop
+      // chain through a VM of that AS must drop immediately — its backbone
+      // mids stay "valid" (plain links, not adjacencies), so the AS match
+      // on the via chain is what catches it.
+      if (!uses && c.kind == core::PathKind::kMultiHop) {
+        for (int ep : c.via) {
+          const int ep_as = topo_->endpoint(ep).as_id;
+          if (ep_as == as_a || ep_as == as_b) {
+            uses = true;
+            break;
+          }
+        }
+      }
       if (uses) {
         c.down = true;
         hit = true;

@@ -7,6 +7,7 @@
 #include "core/measure_model.h"
 #include "core/overlay.h"
 #include "core/selection.h"
+#include "route/plane.h"
 #include "sim/hash_rng.h"
 #include "sim/time.h"
 #include "topo/internet.h"
@@ -26,19 +27,39 @@ struct RankerConfig {
   /// per-overlay split samples plus the score the pinned path achieved),
   /// so regret and the core/selection baselines can be computed offline.
   bool record_history = true;
+  /// Multi-hop routing plane (not owned; null = feature off, zero new
+  /// candidates, all fingerprints unchanged). When set AND the plane's
+  /// policy is enabled, every pair also ranks kMultiHop candidates: enter
+  /// the cloud at one VM, ride the plane's current backbone route, exit at
+  /// another. The plane must outlive the ranker and run on the same event
+  /// queue as the owning broker so that route reads are deterministic
+  /// (the brokers attach an un-attached plane to their own queue at
+  /// construction). One plane instance per control plane — never share
+  /// one across brokers being compared against each other.
+  route::RoutePlane* route_plane = nullptr;
 };
 
-/// One candidate route of a (src, dst) pair: the direct policy path, or a
-/// split-TCP relay through one overlay VM.
+/// One candidate route of a (src, dst) pair: the direct policy path, a
+/// split-TCP relay through one overlay VM, or a multi-hop chain entering
+/// the cloud at `overlay_ep` and exiting at `exit_ep` along the routing
+/// plane's current backbone route.
 struct Candidate {
   core::PathKind kind = core::PathKind::kDirect;
-  int overlay_ep = -1;        ///< kSplitOverlay only
+  int overlay_ep = -1;        ///< kSplitOverlay/kMultiHop: entry VM
+  int exit_ep = -1;           ///< kMultiHop only: exit VM
   double score_bps = 0.0;     ///< EWMA-smoothed predicted throughput
   double last_bps = 0.0;      ///< most recent raw probe sample
   bool measured = false;      ///< at least one probe applied
   bool down = false;          ///< traverses a failed adjacency (await repin)
-  topo::PathRef path;         ///< direct path, or leg src -> overlay
-  topo::PathRef leg2;         ///< kSplitOverlay: overlay -> dst
+  topo::PathRef path;         ///< direct path, or leg src -> entry VM
+  topo::PathRef leg2;         ///< overlay kinds: exit VM -> dst
+  /// kMultiHop: the plane route the score was composed against — the DC
+  /// endpoint chain (entry..exit, >= 2 entries; empty = no usable route),
+  /// its interned backbone segments, and the plane version it was read at
+  /// (stale version => re-read on the next probe).
+  std::vector<int> via;
+  std::vector<topo::PathRef> mids;
+  std::uint64_t route_ver = 0;
 };
 
 /// Ranked path table of one (src, dst) pair, plus the broker bookkeeping
@@ -186,6 +207,9 @@ class PathRanker {
 
  private:
   void build_candidates(PairState* p) const;
+  /// Re-read the plane's current route for a kMultiHop candidate and
+  /// re-intern its segments (entry/exit access legs + backbone mids).
+  void refresh_multihop(const PairState& p, Candidate* c) const;
 
   topo::Internet* topo_;
   RankerConfig cfg_;

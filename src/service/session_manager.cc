@@ -44,16 +44,29 @@ SessionManager::SessionManager(AdmissionConfig cfg,
   assert((id_tag & ~(0xffull << 56)) == 0 && "tag lives in the top byte");
 }
 
-void SessionManager::reserve(const Candidate& c, double demand_bps) {
-  if (c.kind != core::PathKind::kSplitOverlay) return;
-  ledger_.add(c.overlay_ep, demand_bps);
-  if (shared_) shared_->add(c.overlay_ep, demand_bps);
+void SessionManager::reserve(const Candidate& c, double demand_bps,
+                             Session* s) {
+  s->reserved_eps.clear();
+  if (c.kind == core::PathKind::kSplitOverlay) {
+    s->reserved_eps.push_back(c.overlay_ep);
+  } else if (c.kind == core::PathKind::kMultiHop) {
+    // A multi-hop session relays through every VM on its chain; each one's
+    // NIC carries the session's traffic once in and once out, same as a
+    // one-hop relay, so each reserves the full demand.
+    s->reserved_eps = c.via;
+  }
+  for (int ep : s->reserved_eps) {
+    ledger_.add(ep, demand_bps);
+    if (shared_) shared_->add(ep, demand_bps);
+  }
 }
 
-void SessionManager::unreserve(const Candidate& c, double demand_bps) {
-  if (c.kind != core::PathKind::kSplitOverlay) return;
-  ledger_.sub(c.overlay_ep, demand_bps);
-  if (shared_) shared_->sub(c.overlay_ep, demand_bps);
+void SessionManager::unreserve(Session* s) {
+  for (int ep : s->reserved_eps) {
+    ledger_.sub(ep, s->demand_bps);
+    if (shared_) shared_->sub(ep, s->demand_bps);
+  }
+  s->reserved_eps.clear();
 }
 
 int SessionManager::pick_candidate(PathRanker& ranker, int pair_idx,
@@ -76,8 +89,26 @@ int SessionManager::pick_candidate(PathRanker& ranker, int pair_idx,
     }
     if (c.down) continue;
     // Capacity check against the authority ledger: the shared global one
-    // when sharded (NICs are physical), this table's own otherwise.
-    const double used = (shared_ ? *shared_ : ledger_).used_bps(c.overlay_ep);
+    // when sharded (NICs are physical), this table's own otherwise. A
+    // multi-hop candidate needs headroom on every VM of its chain.
+    const NicLedger& authority = shared_ ? *shared_ : ledger_;
+    if (c.kind == core::PathKind::kMultiHop) {
+      if (c.via.empty()) continue;  // no usable plane route right now
+      bool fits = true;
+      for (int ep : c.via) {
+        if (authority.used_bps(ep) + demand_bps > cfg_.nic_capacity_bps) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) {
+        denied = true;
+        continue;
+      }
+      if (denied) ++overlay_denied_;
+      return ci;
+    }
+    const double used = authority.used_bps(c.overlay_ep);
     if (used + demand_bps <= cfg_.nic_capacity_bps) {
       if (denied) ++overlay_denied_;
       return ci;
@@ -110,7 +141,7 @@ std::uint64_t SessionManager::admit(PathRanker& ranker, int pair_idx,
   PairState& p = ranker.pair(pair_idx);
   s.pos_in_pair = static_cast<std::uint32_t>(p.sessions.size());
   p.sessions.push_back(slot);
-  reserve(p.candidates[static_cast<std::size_t>(ci)], demand_bps);
+  reserve(p.candidates[static_cast<std::size_t>(ci)], demand_bps, &s);
   ++active_;
   return id_of(slot);
 }
@@ -139,7 +170,7 @@ bool SessionManager::release(PathRanker& ranker, std::uint64_t id) {
   if (!live(id)) return false;
   Session& s = slots_[slot_of(id)];
   PairState& p = ranker.pair(s.pair);
-  unreserve(p.candidates[static_cast<std::size_t>(s.candidate)], s.demand_bps);
+  unreserve(&s);
   detach_from_pair(p, s);
   ++s.gen;  // even: free
   free_.push_back(slot_of(id));
@@ -163,9 +194,9 @@ int SessionManager::repin_pair(PathRanker& ranker, int pair_idx) {
     Session& s = slots_[slot];
     const Candidate& cur = p.candidates[static_cast<std::size_t>(s.candidate)];
     if (s.candidate == p.best && !cur.down) continue;
-    unreserve(cur, s.demand_bps);
+    unreserve(&s);
     const int target = pick_candidate(ranker, pair_idx, s.demand_bps);
-    reserve(p.candidates[static_cast<std::size_t>(target)], s.demand_bps);
+    reserve(p.candidates[static_cast<std::size_t>(target)], s.demand_bps, &s);
     if (target != s.candidate) {
       s.candidate = target;
       ++migrated;

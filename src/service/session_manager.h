@@ -51,6 +51,12 @@ struct Session {
   sim::Time admitted{};
   std::uint32_t pos_in_pair = 0;  ///< index into PairState::sessions
   std::uint32_t gen = 0;          ///< odd while live (slot reuse guard)
+  /// Overlay VMs this session's demand is reserved on (empty for direct,
+  /// one for a one-hop relay, the via chain for multi-hop). Recorded at
+  /// reservation time because a multi-hop candidate's chain can be
+  /// re-routed while the session stays pinned — releases must return the
+  /// capacity to the NICs that actually hold it, not the current chain.
+  std::vector<int> reserved_eps;
 };
 
 /// Session table + per-overlay-node NIC accounting. Sessions live in a
@@ -138,8 +144,10 @@ class SessionManager {
 
   /// First admissible candidate in ranked order for `demand`.
   int pick_candidate(PathRanker& ranker, int pair_idx, double demand_bps);
-  void reserve(const Candidate& c, double demand_bps);
-  void unreserve(const Candidate& c, double demand_bps);
+  /// Reserve `demand` on the candidate's relay VMs, recording them into
+  /// `s.reserved_eps`; unreserve returns exactly what was recorded.
+  void reserve(const Candidate& c, double demand_bps, Session* s);
+  void unreserve(Session* s);
   void detach_from_pair(PairState& p, Session& s);
 
   AdmissionConfig cfg_;

@@ -7,15 +7,8 @@
 
 namespace cronets::service {
 
-namespace {
-std::uint64_t pack_pair(int src, int dst) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-         static_cast<std::uint32_t>(dst);
-}
-}  // namespace
-
 int ShardedBroker::shard_of(int src, int dst, int num_shards) {
-  return static_cast<int>(sim::splitmix64(pack_pair(src, dst)) %
+  return static_cast<int>(sim::splitmix64(sim::pack_pair(src, dst)) %
                           static_cast<std::uint64_t>(num_shards));
 }
 
@@ -47,6 +40,14 @@ ShardedBroker::ShardedBroker(topo::Internet* topo,
   cursor_.assign(shards_.size(), 0);
   listener_id_ = topo_->add_mutation_listener(
       [this](const topo::Mutation& m) { on_mutation(m); });
+  // One routing plane serves every shard (each shard's ranker holds the
+  // same pointer); it runs its rounds on the sharded broker's own queue,
+  // so plane state is identical to the 1-shard broker's at every simulated
+  // time — a precondition of the shard-invariance contract above.
+  route::RoutePlane* plane = cfg_.ranking.route_plane;
+  if (plane != nullptr && plane->enabled() && !plane->attached()) {
+    plane->attach(&queue_, now_);
+  }
   queue_.schedule(now_ + cfg_.probe.tick, [this] { probe_tick(); });
 }
 
@@ -55,7 +56,7 @@ ShardedBroker::~ShardedBroker() {
 }
 
 int ShardedBroker::register_pair(int src, int dst) {
-  const auto it = pair_index_.find(pack_pair(src, dst));
+  const auto it = pair_index_.find(sim::pack_pair(src, dst));
   if (it != pair_index_.end()) return it->second;
   const int gid = static_cast<int>(shard_of_pair_.size());
   const int s = shard_of(src, dst, num_shards());
@@ -65,7 +66,7 @@ int ShardedBroker::register_pair(int src, int dst) {
   assert(static_cast<std::size_t>(local) == sh.local_to_global.size() &&
          "shard-local pair ids are dense and append-only");
   sh.local_to_global.push_back(gid);
-  pair_index_.emplace(pack_pair(src, dst), gid);
+  pair_index_.emplace(sim::pack_pair(src, dst), gid);
   shard_of_pair_.push_back(s);
   local_of_pair_.push_back(local);
   global_last_probe_.push_back(sim::Time{-1});
@@ -92,7 +93,7 @@ std::uint64_t ShardedBroker::open_session(int pair_idx, double demand_bps) {
   ++sh.admitted;
   if (sh.ranker.pair(local)
           .candidates[static_cast<std::size_t>(sess.candidate)]
-          .kind == core::PathKind::kSplitOverlay) {
+          .kind != core::PathKind::kDirect) {
     ++sh.via_overlay;
   }
   stamp_pair_admit(sh.ranker.pair(local), sess.candidate);

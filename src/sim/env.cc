@@ -84,6 +84,21 @@ double env_double(const char* name, double def, double lo, double hi) {
   return v;
 }
 
+int env_choice(const char* name, int def,
+               std::initializer_list<const char*> choices) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return def;
+  int i = 0;
+  for (const char* c : choices) {
+    if (std::strcmp(s, c) == 0) return i;
+    ++i;
+  }
+  std::fprintf(stderr, "cronets: ignoring %s=\"%s\" (expected one of:", name, s);
+  for (const char* c : choices) std::fprintf(stderr, " %s", c);
+  std::fprintf(stderr, "); using the default\n");
+  return def;
+}
+
 bool env_flag(const char* name) {
   const char* s = std::getenv(name);
   if (s == nullptr || *s == '\0') return false;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 
 namespace cronets::sim {
 
@@ -26,5 +27,11 @@ double env_double(const char* name, double def, double lo, double hi);
 /// Boolean knob: unset, "0", "false", "off", or "" are false; any other
 /// value (including "1", "true", "on") is true.
 bool env_flag(const char* name);
+
+/// Choice knob: returns the index of the value in `choices` (exact,
+/// case-sensitive match); `def` when unset or — with a warning listing the
+/// accepted values — when the value matches none of them.
+int env_choice(const char* name, int def,
+               std::initializer_list<const char*> choices);
 
 }  // namespace cronets::sim

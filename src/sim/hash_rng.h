@@ -44,6 +44,15 @@ inline double hash_normal(std::uint64_t key) {
          std::cos(6.28318530717958647692 * u2);
 }
 
+/// Canonical packed (src, dst) endpoint-pair key: the 64-bit id every
+/// per-pair table keys on (ranker indices, batch plans, shard hashing,
+/// route tables). Feed through splitmix64 when a uniform hash of the pair
+/// is needed (e.g. ShardedBroker::shard_of).
+inline std::uint64_t pack_pair(int src, int dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+
 /// Seed of the measurement-noise stream for one (src, dst, time) pair.
 /// Every stochastic draw inside one pair measurement comes from an `Rng`
 /// seeded with this, which is what makes results independent of the order

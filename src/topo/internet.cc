@@ -332,7 +332,14 @@ void Internet::build_cloud(const CloudParams& c) {
     for (int j = i + 1; j < n; ++j) {
       const AsNode& a = ases_[cloud_as_[i]];
       const AsNode& b = ases_[cloud_as_[j]];
-      const double delay = propagation_ms(distance_km(a.pos, b.pos));
+      // Only a non-default detour range consumes RNG: the default mesh
+      // must reproduce pre-existing worlds bit for bit.
+      const double detour =
+          c.backbone_detour_hi > c.backbone_detour_lo ||
+                  c.backbone_detour_lo != 1.0
+              ? rng_.uniform(c.backbone_detour_lo, c.backbone_detour_hi)
+              : 1.0;
+      const double delay = propagation_ms(distance_km(a.pos, b.pos)) * detour;
       const int lid = new_link(a.routers.back(), b.routers.back(),
                                c.backbone_capacity_bps, delay, /*is_core=*/false,
                                /*cloud_grade=*/true, /*backbone=*/true);

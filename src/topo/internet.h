@@ -104,6 +104,14 @@ struct CloudParams {
   int transit_t1s = 3;  ///< nearest tier-1 transit providers per DC
   int peer_t2s = 5;     ///< nearest tier-2 peers per DC
   double backbone_capacity_bps = 40e9;
+  /// Fiber-detour factor range of the backbone mesh links. The default
+  /// [1, 1] keeps the mesh on great circles (and draws nothing from the
+  /// topology RNG, so existing worlds are bit-identical). A pathological
+  /// range (e.g. [1, 3]) makes the mesh violate the triangle inequality,
+  /// which is what gives a k>=2-hop overlay route room to beat the direct
+  /// DC-to-DC edge on delay.
+  double backbone_detour_lo = 1.0;
+  double backbone_detour_hi = 1.0;
   double vm_nic_bps = 100e6;  ///< the Softlayer 100 Mbps virtual NIC
 };
 
@@ -221,6 +229,13 @@ class Internet {
   /// overlay extension); falls back to the public path if either endpoint
   /// is not a DC VM.
   RouterPath backbone_path(int dc_ep_a, int dc_ep_b);
+  /// Interned immutable version of `backbone_path()` (separate key space
+  /// in the shared PathCache, same invalidation). The multi-hop routing
+  /// plane's edge measurements go through this, so the SoA batch sampler
+  /// sees stable interned segments with zero new allocation paths.
+  PathRef cached_backbone_path(int dc_ep_a, int dc_ep_b) {
+    return path_cache_.get_backbone(dc_ep_a, dc_ep_b);
+  }
 
   // --- dynamics -------------------------------------------------------
   void add_event(const LinkEvent& ev);
