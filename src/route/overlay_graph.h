@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "model/batch_sampler.h"
@@ -11,13 +13,49 @@
 
 namespace cronets::route {
 
+/// Probing knobs of the overlay graph (a slice of route::RouteConfig,
+/// duplicated here so the graph does not depend on the policy header).
+struct MeasureConfig {
+  double ewma_alpha = 0.3;
+  /// An edge is due for a re-probe once it has gone this many rounds
+  /// without one. 1 = probe everything every round (the pre-incremental
+  /// behaviour).
+  int probe_interval_rounds = 8;
+  /// Edges re-probed per round on staleness alone; 0 = auto, one
+  /// interval's worth of the mesh (ceil(E / probe_interval_rounds)), so
+  /// the steady-state backlog never grows. Dirty edges (mutations, never
+  /// measured) bypass the budget — they are probed the round they appear.
+  int probe_budget = 0;
+  /// Relative EWMA change that re-latches the policy-facing metric of an
+  /// edge. Policies read the latched values, so estimate jitter below the
+  /// threshold provably cannot change any routing decision — that is what
+  /// lets the incremental exchange skip untouched (agent, destination)
+  /// rows while staying bitwise identical to the full recompute.
+  double metric_threshold = 0.10;
+  /// Selection structure: the ordered due-set (ProbeScheduler idiom) or
+  /// the stateless full-scan reference. Both produce the same probe set
+  /// by construction; CRONETS_ROUTE_INCREMENTAL=0 runs the reference so
+  /// the equivalence is continuously re-proven by the fingerprint gates.
+  bool incremental = true;
+};
+
 /// The routing plane's view of the cloud: one node per data-center VM
 /// endpoint, one directed edge per ordered DC pair, riding the private
 /// backbone (topo::Internet::cached_backbone_path). Edges carry EWMA
-/// estimates of backbone TCP rate and delay, refreshed once per routing
-/// round through the SoA batch sampler — the same measurement kernel the
-/// probe sweeps use, so an edge estimate is bitwise a pure function of
-/// (seed, src VM, dst VM, t) at every SIMD level.
+/// estimates of backbone TCP rate and delay, refreshed through the SoA
+/// batch sampler — the same measurement kernel the probe sweeps use, so an
+/// edge estimate is bitwise a pure function of (seed, src VM, dst VM, t)
+/// at every SIMD level, and of the probe schedule, which is itself a pure
+/// function of the mutation timeline.
+///
+/// Probing is incremental: each edge carries a staleness key (the round it
+/// was last probed; -1 = dirty, probe now). A round probes every dirty
+/// edge plus up to `probe_budget` of the most-stale due edges, so a
+/// quiescent mesh costs E/interval edge measurements per round instead of
+/// E. Mutation listeners feed the dirty set: a transient link event marks
+/// every edge whose backbone path crosses the link dirty at the event's
+/// start and end, and a BGP adjacency change marks the flipped DC's edges
+/// dirty — so faults are re-measured the next round, not an interval later.
 ///
 /// Liveness piggybacks on the Internet's mutation listeners: a BGP
 /// adjacency change (chaos DC outages flip every adjacency of one cloud
@@ -29,7 +67,7 @@ namespace cronets::route {
 class OverlayGraph {
  public:
   OverlayGraph(topo::Internet* topo, const model::FlowModel* flow,
-               std::uint64_t seed, double ewma_alpha);
+               std::uint64_t seed, MeasureConfig cfg);
   ~OverlayGraph();
   OverlayGraph(const OverlayGraph&) = delete;
   OverlayGraph& operator=(const OverlayGraph&) = delete;
@@ -46,19 +84,44 @@ class OverlayGraph {
   /// change node liveness). Part of RoutePlane::route_version.
   std::uint64_t liveness_epoch() const { return liveness_epoch_; }
 
-  /// Measure every directed backbone edge at time `t` and fold the result
-  /// into the EWMA estimates. All n*(n-1) edges are measured every round
-  /// regardless of liveness — constant work per round, and a recovering DC
-  /// has fresh estimates the moment it is back up.
-  void measure_all(sim::Time t);
+  /// One measurement round at time `t`: probe every dirty edge plus the
+  /// budgeted most-stale due edges, fold the samples into the EWMA
+  /// estimates, and re-latch policy metrics that moved past the threshold.
+  void measure(sim::Time t);
 
   bool edge_measured(int i, int j) const { return edge(i, j).measured; }
   double ewma_bps(int i, int j) const { return edge(i, j).ewma_bps; }
   double ewma_delay_ms(int i, int j) const { return edge(i, j).ewma_delay_ms; }
   double last_bps(int i, int j) const { return edge(i, j).last_bps; }
   double last_delay_ms(int i, int j) const { return edge(i, j).last_delay_ms; }
+  /// Latched policy metrics: the EWMA as of its last threshold crossing.
+  /// Both exchange policies read only these, so between latch moves their
+  /// inputs are frozen — the incremental skip set falls out of that.
+  double metric_bps(int i, int j) const { return edge(i, j).metric_bps; }
+  double metric_delay_ms(int i, int j) const {
+    return edge(i, j).metric_delay_ms;
+  }
 
   int rounds_measured() const { return rounds_measured_; }
+  const MeasureConfig& config() const { return cfg_; }
+  /// The resolved per-round staleness budget (auto = ceil(E/interval)).
+  int resolved_budget() const { return budget_; }
+
+  /// Edges probed in the latest round / since construction.
+  int edges_probed_last_round() const { return probed_last_round_; }
+  std::uint64_t edges_probed_total() const { return probed_total_; }
+
+  /// Rows (source nodes) with a delay-latch move in the latest round; the
+  /// delay policy re-relaxes exactly these rows plus the dirty
+  /// destinations. Valid until the next measure().
+  const std::vector<char>& delay_dirty_rows() const {
+    return delay_dirty_rows_;
+  }
+  /// Any rate (bps) latch moved in the latest round. Backpressure weights
+  /// couple every commodity to every edge rate, so one rate move wakes
+  /// all virtual-queue columns for one round.
+  bool rate_latch_moved() const { return rate_latch_moves_round_ > 0; }
+  std::uint64_t latch_moves_total() const { return latch_moves_total_; }
 
  private:
   struct EdgeState {
@@ -67,6 +130,8 @@ class OverlayGraph {
     double ewma_delay_ms = 0.0;
     double last_bps = 0.0;
     double last_delay_ms = 0.0;
+    double metric_bps = 0.0;       ///< latched (policy-facing) rate
+    double metric_delay_ms = 0.0;  ///< latched (policy-facing) delay
     bool measured = false;
   };
 
@@ -78,12 +143,17 @@ class OverlayGraph {
     return edges_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
                   static_cast<std::size_t>(j)];
   }
-  void refresh_liveness();
+  void refresh_liveness(std::vector<int>* flipped = nullptr);
+  void mark_dirty(int e);
+  void mark_node_edges_dirty(int node);
+  void note_link_event(const topo::LinkEvent& ev);
+  void select_due(std::vector<int>* out);
 
   topo::Internet* topo_;
   const model::FlowModel* flow_;
   std::uint64_t seed_;
-  double alpha_;
+  MeasureConfig cfg_;
+  int budget_ = 0;
 
   int n_ = 0;
   std::vector<int> eps_;  ///< node index -> DC VM endpoint id
@@ -96,11 +166,29 @@ class OverlayGraph {
 
   std::vector<EdgeState> edges_;  ///< n*n row-major; diagonal unused
 
+  // Staleness/dirty bookkeeping. `last_round_[e]` is the round the edge
+  // was last probed (-1 = dirty: never measured, or touched by a
+  // mutation). The incremental selection keeps the same keys in an
+  // ordered due-set, (key, edge) ascending — the ProbeScheduler idiom —
+  // whose prefix walk reproduces the full scan's sort exactly.
+  std::vector<int> last_round_;            ///< n*n, keyed like edges_
+  std::set<std::pair<int, int>> due_set_;  ///< (last_round, edge id)
+  std::vector<std::pair<std::int64_t, int>> pending_dirty_;  ///< (ns, edge)
+  std::vector<int> selected_;              ///< scratch: this round's probes
+  std::vector<std::pair<int, int>> stale_scratch_;
+
+  int probed_last_round_ = 0;
+  std::uint64_t probed_total_ = 0;
+  std::vector<char> delay_dirty_rows_;
+  int rate_latch_moves_round_ = 0;
+  std::uint64_t latch_moves_total_ = 0;
+
   // Batched measurement machinery (scratch persists across rounds so a
   // warm round allocates nothing).
   model::BatchSampler sampler_;
   std::vector<int> handles_;  ///< per edge, row-major skipping the diagonal
   bool handles_valid_ = false;
+  std::vector<int> sel_handles_;
   std::vector<model::PathMetrics> metrics_;
   std::vector<double> rtt_ms_, loss_, residual_bps_, capacity_bps_,
       rwnd_bytes_, pftk_bps_;

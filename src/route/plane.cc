@@ -34,14 +34,14 @@ RoutePlane::RoutePlane(topo::Internet* topo, const model::FlowModel* flow,
                        std::uint64_t seed, RouteConfig cfg)
     : topo_(topo),
       cfg_(cfg),
-      graph_(topo, flow, seed, cfg.ewma_alpha),
+      graph_(topo, flow, seed, cfg.measure_config()),
       composer_(topo),
       policy_(make_policy(cfg)) {
   const int n = graph_.size();
   agents_.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) agents_[static_cast<std::size_t>(i)].reset(i, n);
-  prev_next_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
-                    -1);
+  dest_version_.assign(static_cast<std::size_t>(n), 0);
+  seen_liveness_epoch_ = graph_.liveness_epoch();
 }
 
 void RoutePlane::attach(sim::EventQueue* queue, sim::Time start) {
@@ -58,26 +58,46 @@ void RoutePlane::schedule_round(sim::Time t) {
 }
 
 void RoutePlane::step(sim::Time t) {
-  graph_.measure_all(t);
-  if (policy_ != nullptr) policy_->round(graph_, &agents_);
+  graph_.measure(t);
   ++rounds_;
-  const int n = graph_.size();
-  int changes = 0;
-  for (int i = 0; i < n; ++i) {
-    const RoutingAgent& a = agents_[static_cast<std::size_t>(i)];
-    for (int d = 0; d < n; ++d) {
-      const int now = a.table[static_cast<std::size_t>(d)].next;
-      int& prev = prev_next_[static_cast<std::size_t>(i) *
-                                 static_cast<std::size_t>(n) +
-                             static_cast<std::size_t>(d)];
-      if (now != prev) {
-        ++changes;
-        if (prev >= 0) ++flaps_;
-        prev = now;
+  if (policy_ == nullptr) return;
+  const bool liveness_moved = graph_.liveness_epoch() != seen_liveness_epoch_;
+  seen_liveness_epoch_ = graph_.liveness_epoch();
+  RoundContext ctx;
+  ctx.incremental = cfg_.incremental;
+  // Full refresh: the first round installs everything, a liveness move
+  // invalidates node-up terms in every entry, and the periodic refresh
+  // keeps a standing audit that the delta path missed nothing.
+  ctx.full_refresh = rounds_ == 1 || liveness_moved ||
+                     (cfg_.full_refresh_rounds > 0 &&
+                      rounds_ % cfg_.full_refresh_rounds == 0);
+  ctx.delay_dirty_rows = &graph_.delay_dirty_rows();
+  ctx.rate_latch_moved = graph_.rate_latch_moved();
+  policy_->round(graph_, &agents_, &ctx);
+  recomputed_total_ += static_cast<std::uint64_t>(ctx.entries_recomputed);
+  deltas_total_ += static_cast<std::uint64_t>(ctx.entries_changed);
+  flaps_ += ctx.flaps;
+  // Per-destination versions from the policy's changed bitsets: column d
+  // moved somewhere => every cached route toward d may be stale. The bits
+  // are bitwise change detections, identical between modes.
+  if (ctx.changed_words != nullptr && ctx.words_per_agent > 0) {
+    const int n = graph_.size();
+    const int words = ctx.words_per_agent;
+    for (int w = 0; w < words; ++w) {
+      std::uint64_t word = 0;
+      for (int i = 0; i < n; ++i) {
+        word |= ctx.changed_words[static_cast<std::size_t>(i) *
+                                      static_cast<std::size_t>(words) +
+                                  static_cast<std::size_t>(w)];
+      }
+      while (word != 0) {
+        const int d = w * 64 + __builtin_ctzll(word);
+        word &= word - 1;
+        if (d < n) ++dest_version_[static_cast<std::size_t>(d)];
       }
     }
   }
-  if (changes > 0) {
+  if (ctx.next_changes > 0) {
     ++table_version_;
     convergence_round_ = -1;
   } else if (convergence_round_ < 0) {
@@ -109,9 +129,12 @@ bool RoutePlane::route(int entry_ep, int exit_ep,
   if (!graph_.node_up(entry) || !graph_.node_up(exit)) return false;
   int cur = entry;
   via_eps->push_back(entry_ep);
-  // The walk is bounded by max_hops edges; a loop or a withdrawn entry
-  // falls back to the direct edge rather than failing the pair outright.
-  std::uint64_t visited = 1ull << static_cast<unsigned>(entry);
+  // The walk is bounded by max_hops edges; a withdrawn entry falls back to
+  // the direct edge rather than failing the pair outright. A loop needs no
+  // explicit check: the next-hop is a function of the current node alone,
+  // so any revisit cycles forever and the hop budget converts it into the
+  // same fallback — which is what lets the mesh grow past 64 nodes without
+  // a visited bitmask.
   while (cur != exit) {
     if (static_cast<int>(via_eps->size()) > cfg_.max_hops) return fallback();
     const int next = agents_[static_cast<std::size_t>(cur)]
@@ -119,9 +142,6 @@ bool RoutePlane::route(int entry_ep, int exit_ep,
                          .next;
     if (next < 0 || next >= graph_.size()) return fallback();
     if (!graph_.node_up(next)) return fallback();
-    const std::uint64_t bit = 1ull << static_cast<unsigned>(next);
-    if ((visited & bit) != 0) return fallback();
-    visited |= bit;
     cur = next;
     via_eps->push_back(graph_.node_ep(cur));
   }

@@ -41,8 +41,17 @@ class RouteComposer {
 /// rounds on the owner's event queue. Consumers (service::PathRanker via
 /// RankerConfig::route_plane) treat it as read-only between rounds: they
 /// ask `route()` for the current via-chain of an (entry DC, exit DC) pair
-/// and watch `route_version()` to re-compose cached candidates only when
-/// the tables or DC liveness actually moved.
+/// and watch `pair_route_version()` to re-compose a cached candidate only
+/// when the table column or DC liveness behind it actually moved.
+///
+/// Incrementality (CRONETS_ROUTE_INCREMENTAL, default on): the graph
+/// probes only dirty/stale edges per round, the policy recomputes only
+/// entries whose inputs moved, and consumers recompose only pairs whose
+/// destination version moved. A periodic full-refresh round recomputes
+/// everything anyway, and `incremental = false` runs the full-recompute
+/// reference over the same probe schedule — tables, fingerprints, and
+/// decisions are bitwise identical between the two modes; the benches and
+/// CI diff them byte for byte.
 ///
 /// Determinism: rounds run single-threaded on the event queue, agents
 /// update in node index order from round-start snapshots, and every edge
@@ -66,9 +75,9 @@ class RoutePlane {
   void attach(sim::EventQueue* queue, sim::Time start);
   bool attached() const { return queue_ != nullptr; }
 
-  /// One round now: measure all edges, run the policy exchange, account
-  /// flaps/convergence. Benches and tests may call this directly instead
-  /// of attach() when they drive time themselves.
+  /// One round now: probe due edges, run the policy exchange, account
+  /// flaps/versions/convergence. Benches and tests may call this directly
+  /// instead of attach() when they drive time themselves.
   void step(sim::Time t);
 
   /// Current route entry_ep -> exit_ep as a chain of DC endpoint ids,
@@ -85,6 +94,19 @@ class RoutePlane {
   /// table changes and by DC liveness flips.
   std::uint64_t route_version() const {
     return table_version_ + graph_.liveness_epoch();
+  }
+
+  /// Per-pair staleness: the route() walk toward `exit_ep` reads only the
+  /// table column of its exit node (plus liveness), so a consumer caching
+  /// that pair's chain needs to recompose only when this moves. Identical
+  /// between incremental and full modes — both derive destination versions
+  /// from the same bitwise change trajectory. Falls back to the global
+  /// route_version() for non-DC endpoints.
+  std::uint64_t pair_route_version(int exit_ep) const {
+    const int exit = graph_.node_of_ep(exit_ep);
+    if (exit < 0) return route_version();
+    return dest_version_[static_cast<std::size_t>(exit)] +
+           graph_.liveness_epoch();
   }
 
   /// Order-sensitive hash over every agent's full table and virtual queues
@@ -105,6 +127,13 @@ class RoutePlane {
   /// churning. Resets whenever a later round changes something.
   int convergence_round() const { return convergence_round_; }
 
+  /// Incremental-work accounting across all rounds: table entries actually
+  /// recomputed and entries that bitwise changed (the deltas that would go
+  /// on the wire in a triggered-update protocol). `deltas_total` is
+  /// identical between modes; `entries_recomputed_total` is the work saved.
+  std::uint64_t entries_recomputed_total() const { return recomputed_total_; }
+  std::uint64_t deltas_total() const { return deltas_total_; }
+
  private:
   void schedule_round(sim::Time t);
 
@@ -114,9 +143,12 @@ class RoutePlane {
   RouteComposer composer_;
   std::unique_ptr<RoutePolicy> policy_;
   std::vector<RoutingAgent> agents_;
-  std::vector<int> prev_next_;  ///< n*n last-seen next-hop matrix
+  std::vector<std::uint64_t> dest_version_;  ///< per destination node
   sim::EventQueue* queue_ = nullptr;
   std::uint64_t table_version_ = 0;
+  std::uint64_t seen_liveness_epoch_ = 0;
+  std::uint64_t recomputed_total_ = 0;
+  std::uint64_t deltas_total_ = 0;
   int rounds_ = 0;
   int flaps_ = 0;
   int convergence_round_ = -1;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -19,8 +20,9 @@ enum class Policy {
 const char* policy_name(Policy p);
 
 /// Knobs of the routing plane. `from_env` reads the CRONETS_ROUTE_POLICY /
-/// CRONETS_MAX_HOPS environment knobs through sim/env.h; everything else
-/// keeps its default unless a bench or test overrides it in code.
+/// CRONETS_MAX_HOPS / CRONETS_ROUTE_INCREMENTAL environment knobs through
+/// sim/env.h; everything else keeps its default unless a bench or test
+/// overrides it in code.
 struct RouteConfig {
   Policy policy = Policy::kOff;
   /// Maximum overlay hops (backbone edges) a composed route may take.
@@ -41,7 +43,73 @@ struct RouteConfig {
   double bp_drain = 4.0;
   double bp_rate_ref_bps = 100e6;
 
+  /// Incremental plane (CRONETS_ROUTE_INCREMENTAL, default on): due-set
+  /// probe selection, delta exchange rounds, per-destination route
+  /// versions. Off runs the full-recompute reference — same probe
+  /// schedule, same latched metrics, bitwise-identical tables and
+  /// decisions; only the amount of work per round differs. The bench and
+  /// CI gates diff the two modes byte for byte.
+  bool incremental = true;
+  /// Probing cadence (see route::MeasureConfig): re-probe an edge every
+  /// `probe_interval_rounds` rounds, at most `probe_budget` staleness
+  /// probes per round (0 = one interval's worth of the mesh), and re-latch
+  /// a policy-facing metric only when the EWMA moved by
+  /// `metric_threshold` relative.
+  int probe_interval_rounds = 8;
+  int probe_budget = 0;
+  double metric_threshold = 0.10;
+  /// Every this-many rounds the incremental path recomputes everything
+  /// anyway — a cheap standing audit that pins inc == full equivalence
+  /// (and the bench fingerprints cross both kinds of rounds).
+  int full_refresh_rounds = 64;
+
   static RouteConfig from_env();
+
+  MeasureConfig measure_config() const {
+    MeasureConfig m;
+    m.ewma_alpha = ewma_alpha;
+    m.probe_interval_rounds = probe_interval_rounds;
+    m.probe_budget = probe_budget;
+    m.metric_threshold = metric_threshold;
+    m.incremental = incremental;
+    return m;
+  }
+};
+
+/// Per-round exchange context: the plane tells the policy which delta
+/// triggers fired this round (inputs), and the policy reports exactly what
+/// it touched and changed (outputs) so the plane can maintain versions,
+/// flap counters, and per-destination dirtiness without rescanning n^2
+/// entries.
+struct RoundContext {
+  // -- inputs (plane -> policy) --
+  /// Delta exchange enabled. False = recompute everything, every round.
+  bool incremental = false;
+  /// Recompute everything this round regardless of dirtiness: first
+  /// round, liveness epoch moved, or the periodic refresh came due.
+  bool full_refresh = true;
+  /// Per-source-node flags: a delay latch in this row moved during this
+  /// round's measurement (owned by the graph; nullptr = treat all dirty).
+  const std::vector<char>* delay_dirty_rows = nullptr;
+  /// Any rate (bps) latch moved during this round's measurement.
+  bool rate_latch_moved = true;
+
+  // -- outputs (policy -> plane) --
+  /// (agent, destination) entries actually recomputed / bitwise changed.
+  /// In full mode recomputed == n*(n-1)-ish; changed is identical between
+  /// modes (that is the equivalence claim).
+  long entries_recomputed = 0;
+  long entries_changed = 0;
+  /// Entries whose next-hop changed, and the subset where a valid
+  /// next-hop was replaced or withdrawn (flaps).
+  int next_changes = 0;
+  int flaps = 0;
+  /// Per-agent changed-destination bitsets for this round: agent i's words
+  /// at [i * words_per_agent, (i+1) * words_per_agent). Owned by the
+  /// policy, valid until its next round() call. nullptr when the policy
+  /// does not track deltas (never the case for the built-in policies).
+  const std::uint64_t* changed_words = nullptr;
+  int words_per_agent = 0;
 };
 
 /// One metric-exchange discipline over the overlay graph. A `round` is a
@@ -49,12 +117,20 @@ struct RouteConfig {
 /// from the round-start snapshot of its neighbours' tables, in node index
 /// order — deterministic by construction, no tie ever resolved by arrival
 /// order or wall clock.
+///
+/// Incremental contract: when `ctx->incremental` and not
+/// `ctx->full_refresh`, the policy may skip any (agent, destination)
+/// entry whose inputs provably did not move — skipped entries keep their
+/// previous value, which is bitwise what a full recompute would have
+/// produced. The policies derive the skip set from the graph's latched
+/// metrics (frozen between threshold crossings) plus their own
+/// changed-entry bitsets from the previous round.
 class RoutePolicy {
  public:
   virtual ~RoutePolicy() = default;
   virtual const char* name() const = 0;
-  virtual void round(const OverlayGraph& g,
-                     std::vector<RoutingAgent>* agents) = 0;
+  virtual void round(const OverlayGraph& g, std::vector<RoutingAgent>* agents,
+                     RoundContext* ctx) = 0;
 };
 
 /// Policy factory; returns null for Policy::kOff.

@@ -85,7 +85,7 @@ void PathRanker::refresh_multihop(const PairState& p, Candidate* c) const {
   if (plane->route(c->overlay_ep, c->exit_ep, &c->via)) {
     plane->composer().mid_segments(c->via, &c->mids);
   }
-  c->route_ver = plane->route_version();
+  c->route_ver = plane->pair_route_version(c->exit_ep);
 }
 
 bool PathRanker::apply_sample(int idx, const core::PairSample& s, sim::Time t) {
@@ -107,10 +107,13 @@ bool PathRanker::apply_sample(int idx, const core::PairSample& s, sim::Time t) {
     } else if (c.kind == core::PathKind::kMultiHop) {
       const route::RoutePlane* plane = cfg_.route_plane;
       if (plane == nullptr) continue;
-      // The plane's tables moved since this candidate's route was read:
-      // re-read before scoring so the score matches the route sessions
-      // would actually ride.
-      if (c.route_ver != plane->route_version()) refresh_multihop(p, &c);
+      // The table column or liveness behind this candidate's route moved
+      // since it was read: re-read before scoring so the score matches the
+      // route sessions would actually ride. Per-destination versions keep
+      // unrelated table churn from re-composing every candidate.
+      if (c.route_ver != plane->pair_route_version(c.exit_ep)) {
+        refresh_multihop(p, &c);
+      }
       // Compose from the one-hop probe's per-leg rates: leg 1 of the entry
       // VM's split sample, leg 2 of the exit VM's, and the plane's EWMA
       // bottleneck across the backbone hops. One 0.97 split-proxy haircut

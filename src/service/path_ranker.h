@@ -55,8 +55,8 @@ struct Candidate {
   topo::PathRef leg2;         ///< overlay kinds: exit VM -> dst
   /// kMultiHop: the plane route the score was composed against — the DC
   /// endpoint chain (entry..exit, >= 2 entries; empty = no usable route),
-  /// its interned backbone segments, and the plane version it was read at
-  /// (stale version => re-read on the next probe).
+  /// its interned backbone segments, and the per-destination plane version
+  /// it was read at (stale version => re-read on the next probe).
   std::vector<int> via;
   std::vector<topo::PathRef> mids;
   std::uint64_t route_ver = 0;

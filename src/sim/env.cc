@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
 
 namespace cronets::sim {
 
@@ -13,6 +16,16 @@ namespace {
 void warn(const char* name, const char* value, const char* why) {
   std::fprintf(stderr, "cronets: ignoring %s=\"%s\" (%s); using the default\n",
                name, value, why);
+}
+
+/// True the first time a given (knob, reason) pair warns; later calls for
+/// the same pair stay silent, so a knob read in a hot loop (per-shard, per
+/// round) complains once instead of flooding stderr.
+bool first_warning(const char* name, const char* why) {
+  static std::mutex mu;
+  static std::set<std::string> seen;
+  std::lock_guard<std::mutex> lock(mu);
+  return seen.insert(std::string(name) + '\0' + why).second;
 }
 
 /// True when `s` is non-empty and `end` consumed it entirely (trailing
@@ -44,6 +57,28 @@ long env_int(const char* name, long def, long lo, long hi) {
                  "default\n",
                  name, v, lo, hi);
     return def;
+  }
+  return v;
+}
+
+long env_int_clamped(const char* name, long def, long lo, long hi) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return def;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (!fully_parsed(s, end) || errno == ERANGE) {
+    if (first_warning(name, "not an integer")) warn(name, s, "not an integer");
+    return def;
+  }
+  if (v < lo || v > hi) {
+    const long clamped = v < lo ? lo : hi;
+    if (first_warning(name, "clamped")) {
+      std::fprintf(stderr,
+                   "cronets: clamping %s=%ld into [%ld, %ld] -> %ld\n", name,
+                   v, lo, hi, clamped);
+    }
+    return clamped;
   }
   return v;
 }
@@ -93,9 +128,12 @@ int env_choice(const char* name, int def,
     if (std::strcmp(s, c) == 0) return i;
     ++i;
   }
-  std::fprintf(stderr, "cronets: ignoring %s=\"%s\" (expected one of:", name, s);
-  for (const char* c : choices) std::fprintf(stderr, " %s", c);
-  std::fprintf(stderr, "); using the default\n");
+  if (first_warning(name, "bad choice")) {
+    std::fprintf(stderr, "cronets: ignoring %s=\"%s\" (expected one of:", name,
+                 s);
+    for (const char* c : choices) std::fprintf(stderr, " %s", c);
+    std::fprintf(stderr, "); using the default\n");
+  }
   return def;
 }
 

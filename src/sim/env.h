@@ -18,6 +18,14 @@ namespace cronets::sim {
 /// Integer knob in [lo, hi]; `def` when unset or rejected.
 long env_int(const char* name, long def, long lo, long hi);
 
+/// Integer knob clamped into [lo, hi]: an out-of-range value is pulled to
+/// the nearest bound (with a one-shot stderr warning) instead of being
+/// replaced by the default — "CRONETS_MAX_HOPS=0" means "as few hops as
+/// allowed", not "whatever the default is". Garbage still falls back to
+/// `def` (one-shot warning). Use for knobs where the valid range is a
+/// mechanical limit rather than a semantic choice.
+long env_int_clamped(const char* name, long def, long lo, long hi);
+
 /// Unsigned 64-bit knob (seeds); `def` when unset or rejected.
 std::uint64_t env_u64(const char* name, std::uint64_t def);
 
@@ -29,8 +37,8 @@ double env_double(const char* name, double def, double lo, double hi);
 bool env_flag(const char* name);
 
 /// Choice knob: returns the index of the value in `choices` (exact,
-/// case-sensitive match); `def` when unset or — with a warning listing the
-/// accepted values — when the value matches none of them.
+/// case-sensitive match); `def` when unset or — with a one-shot warning
+/// listing the accepted values — when the value matches none of them.
 int env_choice(const char* name, int def,
                std::initializer_list<const char*> choices);
 

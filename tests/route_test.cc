@@ -14,6 +14,8 @@
 #include <memory>
 #include <vector>
 
+#include "chaos/injector.h"
+#include "chaos/scenario.h"
 #include "route/plane.h"
 #include "service/broker.h"
 #include "service/sharded_broker.h"
@@ -42,8 +44,9 @@ void warm(RoutePlane* plane, int rounds, int offset_s = 0) {
   }
 }
 
-/// Hop-bounded Bellman-Ford over the graph's current EWMA delays — the
-/// centralized reference the distributed exchange must approach.
+/// Hop-bounded Bellman-Ford over the graph's latched delays (the metric
+/// the policy actually reads) — the centralized reference the distributed
+/// exchange must approach.
 std::vector<double> bf_distances(const OverlayGraph& g, int max_hops) {
   const int n = g.size();
   std::vector<double> dist(static_cast<std::size_t>(n) *
@@ -56,7 +59,7 @@ std::vector<double> bf_distances(const OverlayGraph& g, int max_hops) {
       for (int j = 0; j < n; ++j) {
         if (i == j || !g.node_up(i) || !g.node_up(j) || !g.edge_measured(i, j))
           continue;
-        const double w = g.ewma_delay_ms(i, j);
+        const double w = g.metric_delay_ms(i, j);
         for (int d = 0; d < n; ++d) {
           const double via = w + dist[static_cast<std::size_t>(j * n + d)];
           double& cur = next[static_cast<std::size_t>(i * n + d)];
@@ -108,7 +111,7 @@ TEST(RoutePlane, DelayPolicyConvergesTowardShortestRoutes) {
         const int b = g.node_of_ep(via[h + 1]);
         ASSERT_NE(a, b);
         ASSERT_TRUE(g.edge_measured(a, b));
-        chain += g.ewma_delay_ms(a, b);
+        chain += g.metric_delay_ms(a, b);
       }
       const double best = dist[static_cast<std::size_t>(i * n + d)];
       ASSERT_LT(best, kInfMetric);
@@ -232,6 +235,73 @@ TEST(RoutePlane, DcOutageWithdrawsAndRestoresRoutes) {
   warm(&plane, 2, /*offset_s=*/10);
   EXPECT_TRUE(plane.route(net.dc_endpoint("wdc"), tok, &via));
   EXPECT_EQ(via.back(), tok);
+}
+
+// Replays a seeded chaos timeline (DC outages + a link-flap/storm mix)
+// against two planes on the SAME world — one incremental, one running the
+// full-recompute reference — and asserts the table fingerprints are
+// bitwise identical at every round index. The window crosses fault begins,
+// fault ends, periodic full refreshes, and plain quiescent rounds, so the
+// delta path is exercised on every kind of round the plane has.
+TEST(RoutePlane, IncrementalMatchesFullUnderChaos) {
+  for (const Policy policy : {Policy::kDelay, Policy::kBackpressure}) {
+    wkld::World world(kSeed, topo::TopologyParams{}, pathological_cloud());
+    auto& net = world.internet();
+
+    sim::EventQueue queue;
+    chaos::ScenarioParams sp;
+    sp.horizon = sim::Time::seconds(48);
+    sp.link_flaps = 6;  // flap storm: several overlapping adjacency flaps
+    sp.dc_outages = 2;
+    sp.congestion_storms = 3;
+    sp.gray_failures = 2;
+    sp.mean_repair_s = 8.0;
+    sp.min_repair_s = 3.0;
+    const chaos::Scenario scenario =
+        chaos::Scenario::generate(net, sp, kSeed, /*scenario_seed=*/7);
+    chaos::Injector injector(&net, &queue);
+    injector.arm(scenario);
+
+    RouteConfig inc_cfg;
+    inc_cfg.policy = policy;
+    inc_cfg.incremental = true;
+    inc_cfg.full_refresh_rounds = 16;  // several refreshes inside the window
+    RouteConfig full_cfg = inc_cfg;
+    full_cfg.incremental = false;
+    // Both planes observe the same mutation timeline through their own
+    // listeners; measurements are keyed on (seed, pair, t), so sharing the
+    // world cannot couple them.
+    RoutePlane inc(&net, &world.flow(), world.seed(), inc_cfg);
+    RoutePlane full(&net, &world.flow(), world.seed(), full_cfg);
+
+    const int rounds = 48;
+    for (int k = 0; k < rounds; ++k) {
+      const sim::Time t = sim::Time::seconds(k + 1);
+      while (queue.next_time() <= t) queue.run_next();
+      inc.step(t);
+      full.step(t);
+      ASSERT_EQ(inc.table_fingerprint(), full.table_fingerprint())
+          << policy_name(policy) << " diverged at round " << k + 1;
+    }
+    EXPECT_GT(injector.begun(), 0u);
+
+    // Identical change trajectories...
+    EXPECT_EQ(inc.flaps(), full.flaps()) << policy_name(policy);
+    EXPECT_EQ(inc.deltas_total(), full.deltas_total()) << policy_name(policy);
+    EXPECT_EQ(inc.graph().edges_probed_total(),
+              full.graph().edges_probed_total())
+        << policy_name(policy);
+    // ...for strictly less exchange work.
+    EXPECT_LT(inc.entries_recomputed_total(), full.entries_recomputed_total())
+        << policy_name(policy);
+    // The probe budget must have bitten: far fewer probes than rounds * E.
+    const int n = inc.graph().size();
+    EXPECT_LT(inc.graph().edges_probed_total(),
+              static_cast<std::uint64_t>(rounds) *
+                  static_cast<std::uint64_t>(n) *
+                  static_cast<std::uint64_t>(n - 1))
+        << policy_name(policy);
+  }
 }
 
 struct ControlResult {
