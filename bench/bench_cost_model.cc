@@ -2,18 +2,36 @@
 // VMs relaying traffic) and private leased lines of comparable capacity.
 // Paper: the overlay costs about a tenth of a comparable private line, and
 // the intro cites up to a hundredth for long-haul MPLS.
+//
+// The offline monthly grid and the online economics plane share one price
+// source: the econ::PricingBook wraps the same core::CloudPricing numbers
+// the broker meters sessions against, so the $/GB rates reported here are
+// exactly what bench_cost_pareto's billing ledger accrues. All rows are
+// pure functions of the (default) book — no seed, no threads — so the
+// whole JSON doubles as a pricing regression fingerprint.
+
+#include <cstring>
 
 #include "bench_util.h"
 #include "core/cost.h"
+#include "econ/pricing_book.h"
+#include "sim/hash_rng.h"
 
 using namespace cronets;
 using namespace cronets::bench;
 
-int main() {
-  core::CloudPricing cloud;
+int main(int argc, char** argv) {
+  bool smoke = quick_mode();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const econ::PricingBook book;  // §VII-D Softlayer defaults
+  const core::CloudPricing& cloud = book.cloud;
   core::LeasedLinePricing line;
 
   print_header("Cost model (Sec. VII-D)", "CRONets vs private leased lines");
+  BenchRun run("bench_cost_model", smoke);
   std::printf("%-44s %12s\n", "configuration", "USD/month");
 
   std::vector<PaperCheck> checks;
@@ -33,11 +51,56 @@ int main() {
   std::printf("%-44s %12.0f\n", dom.description.c_str(), dom.monthly_usd);
   std::printf("%-44s %12.0f\n", intl.description.c_str(), intl.monthly_usd);
 
+  // The online plane's per-GB and per-hour rates, derived from the same
+  // book (what bench_cost_pareto's metered ledger charges per unit).
+  using topo::Region;
+  const double same = econ::egress_usd_per_gb(book, Region::kNaEast,
+                                              Region::kNaEast, false);
+  const double continental = econ::egress_usd_per_gb(book, Region::kNaEast,
+                                                     Region::kNaWest, false);
+  const double intercont = econ::egress_usd_per_gb(book, Region::kNaEast,
+                                                   Region::kEurope, false);
+  const double remote = econ::egress_usd_per_gb(book, Region::kEurope,
+                                                Region::kAustralia, false);
+  const double backbone = econ::egress_usd_per_gb(book, Region::kNaEast,
+                                                  Region::kEurope, true);
+  std::printf("\nonline egress rates ($/GB): same-region %.4f, "
+              "same-continent %.4f, intercontinental %.4f, remote %.4f, "
+              "backbone intercontinental %.4f\n",
+              same, continental, intercont, remote, backbone);
+  std::printf("VM amortization: %.4f $/h at 100 Mbps, %.4f $/h at 1 Gbps, "
+              "%.4f $/h bare-metal\n",
+              econ::vm_hour_usd(book, 100), econ::vm_hour_usd(book, 1000),
+              econ::vm_hour_usd(book, 100, true));
+
   const auto typical = core::cronets_monthly_cost(cloud, 2, 5000, 100);
   checks.push_back({"domestic leased line / CRONets cost ratio", 10.0,
                     dom.monthly_usd / typical.monthly_usd});
   checks.push_back({"intercontinental line / CRONets cost ratio", 25.0,
                     intl.monthly_usd / typical.monthly_usd});
-  print_paper_checks(checks);
+  checks.push_back({"egress $/GB same-region", 0.0, same});
+  checks.push_back({"egress $/GB intercontinental", 0.0, intercont});
+  checks.push_back({"egress $/GB remote-region", 0.0, remote});
+  checks.push_back({"egress $/GB backbone intercontinental", 0.0, backbone});
+  checks.push_back({"VM $/hour at 100 Mbps port", 0.0,
+                    econ::vm_hour_usd(book, 100)});
+  checks.push_back({"backbone cheaper than transit (1=yes)", 1.0,
+                    backbone < intercont ? 1.0 : 0.0});
+  // A deterministic pricing fingerprint over the reported rates: any change
+  // to the book's numbers shows up as drift in this row.
+  const double rates[] = {same,     continental,
+                          intercont, remote,
+                          backbone, econ::vm_hour_usd(book, 100)};
+  std::uint64_t fp = 0x9e3779b97f4a7c15ull;
+  for (const double r : rates) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &r, sizeof(bits));
+    fp = sim::hash_combine(fp, bits);
+  }
+  checks.push_back({"pricing fingerprint (low 32 bits)", -1.0,
+                    static_cast<double>(fp & 0xffffffffu)});
+
+  run.set_pairs(static_cast<long>(sizeof(volumes_gb) / sizeof(double)) + 4);
+  run.finish(checks);
   return 0;
 }

@@ -28,6 +28,7 @@
 
 #include "bench_util.h"
 #include "core/selection.h"
+#include "econ/pricing_book.h"
 #include "service/sharded_broker.h"
 #include "wkld/session_churn.h"
 #include "wkld/world.h"
@@ -92,6 +93,12 @@ int main(int argc, char** argv) {
   cfg.probe.budget_per_tick =
       static_cast<int>((num_pairs + ticks_per_interval - 1) / ticks_per_interval);
   cfg.failover_delay = sim::Time::seconds(1);
+  // Economics plane: always attached (the metered ledger observes every
+  // run); the ranking objective follows CRONETS_COST_POLICY, which
+  // defaults to `performance` — under it every decision, and hence the
+  // decision fingerprint, is bitwise identical to the plane being off.
+  const econ::PricingBook pricing_book;
+  cfg.ranking.econ = econ::econ_config_from_env(&pricing_book);
   service::ShardedBroker broker(&world.internet(), &world.meter(),
                                 &world.pool(), overlays, num_shards, cfg);
 
@@ -126,6 +133,7 @@ int main(int argc, char** argv) {
       });
 
   broker.run_until(churn_params.horizon);
+  broker.settle_billing();
   run.stop_clock();
 
   const auto st = broker.stats();
@@ -179,6 +187,22 @@ int main(int argc, char** argv) {
       std::abs(shard_nic_sum - global_nic) <=
       1e-9 * std::max(1.0, std::max(std::abs(shard_nic_sum), std::abs(global_nic)));
 
+  // Same split-the-books-not-the-money invariant for the billing ledger:
+  // per-shard metered USD/GB sum to the shared global book.
+  double shard_usd_sum = 0.0, shard_gb_sum = 0.0;
+  for (int s = 0; s < broker.num_shards(); ++s) {
+    shard_usd_sum += broker.shard_sessions(s).billing().total_usd();
+    shard_gb_sum += broker.shard_sessions(s).billing().delivered_gb();
+  }
+  const double global_usd = broker.global_billing().total_usd();
+  const double global_gb = broker.global_billing().delivered_gb();
+  const auto close_rel = [](double a, double b) {
+    return std::abs(a - b) <=
+           1e-9 * std::max(1.0, std::max(std::abs(a), std::abs(b)));
+  };
+  const bool cost_books_ok =
+      close_rel(shard_usd_sum, global_usd) && close_rel(shard_gb_sum, global_gb);
+
   std::printf("clients=%zu servers=%zu pairs=%zu overlays=%zu\n",
               clients.size(), servers.size(), num_pairs, overlays.size());
   std::printf("-- config: shards=%d threads=%d\n", broker.num_shards(),
@@ -215,6 +239,12 @@ int main(int argc, char** argv) {
               cfg.probe.interval.to_seconds());
   std::printf("goodput regret: %.4f mean per-probe, %.4f aggregate vs oracle\n",
               st.mean_regret(), aggregate_regret);
+  std::printf("cost policy %s: metered %.4f USD / %.3f GB egressed "
+              "(budget-denied %llu, SLO %llu/%llu)\n",
+              econ::cost_policy_name(cfg.ranking.econ.policy), global_usd,
+              global_gb, static_cast<unsigned long long>(st.budget_denied),
+              static_cast<unsigned long long>(st.slo_met),
+              static_cast<unsigned long long>(st.slo_total));
   std::printf("-- timing: decision wall p50 %.2f us, p99 %.2f us; staleness "
               "p50 %.1f s, p99 %.1f s\n",
               p50_wall_us, p99_wall_us, p50_stale_s, p99_stale_s);
@@ -283,8 +313,14 @@ int main(int argc, char** argv) {
        failover_ok ? 1.0 : 0.0},
       {"per-shard NIC books sum to global ledger (1=yes)", 1.0,
        nic_books_ok ? 1.0 : 0.0},
+      {"sharded cost books sum to global ledger (1=yes)", 1.0,
+       cost_books_ok ? 1.0 : 0.0},
+      {"metered egress USD", 0.0, global_usd},
       {"decision fingerprint (low 32 bits)", -1.0,
        static_cast<double>(st.decision_fingerprint & 0xffffffffu)},
+      {"cost fingerprint (low 32 bits)", -1.0,
+       static_cast<double>(broker.global_billing().fingerprint() &
+                           0xffffffffu)},
   };
   run.finish(checks);
   return 0;

@@ -28,6 +28,8 @@ declare -A json_of=(
   [bench_fig3_controlled]=fig3_controlled.json
   [bench_fig6_longitudinal]=fig6_longitudinal.json
   [bench_service_scale]=bench_service_scale.json
+  [bench_cost_model]=bench_cost_model.json
+  [bench_cost_pareto]=bench_cost_pareto.json
   [bench_chaos]=bench_chaos.json
   [bench_micro]=bench_micro.json
   [bench_multihop_routing]=bench_multihop_routing.json

@@ -1,0 +1,107 @@
+#include "econ/billing_ledger.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/hash_rng.h"
+
+namespace cronets::econ {
+
+namespace {
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::uint64_t BillingLedger::key_of(const BillCell& cell) {
+  // [vm_ep+1 : high] [region : 8 bits] [kind : 8 bits] — unique per cell
+  // identity and monotone in (vm_ep, region, kind) for the sorted folds.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cell.vm_ep + 1))
+          << 16) |
+         (static_cast<std::uint64_t>(cell.egress) << 8) |
+         static_cast<std::uint64_t>(cell.kind);
+}
+
+void BillingLedger::meter(const BillCell& cell, double gb) {
+  Cell& c = cells_[key_of(cell)];
+  c.gb += gb;
+  c.usd += gb * cell.usd_per_gb;
+  ++meter_events_;
+}
+
+void BillingLedger::meter_session(const std::vector<BillCell>& bills,
+                                  double gb) {
+  for (const BillCell& cell : bills) meter(cell, gb);
+  delivered_gb_ += gb;
+}
+
+void BillingLedger::sorted_keys(std::vector<std::uint64_t>* out) const {
+  out->clear();
+  out->reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) out->push_back(key);
+  std::sort(out->begin(), out->end());
+}
+
+double BillingLedger::total_gb() const {
+  std::vector<std::uint64_t> keys;
+  sorted_keys(&keys);
+  double sum = 0.0;
+  for (const std::uint64_t k : keys) sum += cells_.at(k).gb;
+  return sum;
+}
+
+double BillingLedger::total_usd() const {
+  std::vector<std::uint64_t> keys;
+  sorted_keys(&keys);
+  double sum = 0.0;
+  for (const std::uint64_t k : keys) sum += cells_.at(k).usd;
+  return sum;
+}
+
+double BillingLedger::kind_gb(core::PathKind kind) const {
+  std::vector<std::uint64_t> keys;
+  sorted_keys(&keys);
+  double sum = 0.0;
+  for (const std::uint64_t k : keys) {
+    if (static_cast<core::PathKind>(k & 0xffu) == kind) sum += cells_.at(k).gb;
+  }
+  return sum;
+}
+
+double BillingLedger::kind_usd(core::PathKind kind) const {
+  std::vector<std::uint64_t> keys;
+  sorted_keys(&keys);
+  double sum = 0.0;
+  for (const std::uint64_t k : keys) {
+    if (static_cast<core::PathKind>(k & 0xffu) == kind) sum += cells_.at(k).usd;
+  }
+  return sum;
+}
+
+std::uint64_t BillingLedger::fingerprint() const {
+  std::vector<std::uint64_t> keys;
+  sorted_keys(&keys);
+  std::uint64_t fp = sim::splitmix64(0xB111Dull);
+  for (const std::uint64_t k : keys) {
+    const Cell& c = cells_.at(k);
+    fp = sim::hash_combine(fp, k);
+    fp = sim::hash_combine(fp, double_bits(c.gb));
+    fp = sim::hash_combine(fp, double_bits(c.usd));
+  }
+  fp = sim::hash_combine(fp, double_bits(delivered_gb_));
+  return fp;
+}
+
+void CostLedger::add(double usd_per_hour) {
+  reserved_ += usd_per_hour;
+  peak_ = std::max(peak_, reserved_);
+}
+
+void CostLedger::sub(double usd_per_hour) { reserved_ -= usd_per_hour; }
+
+}  // namespace cronets::econ

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/overlay.h"
+#include "topo/types.h"
+
+namespace cronets::econ {
+
+/// One metering target of a pinned session: traffic leaving `vm_ep` toward
+/// `egress` at `usd_per_gb`. A direct session carries exactly one zero-rate
+/// cell (vm_ep = -1) so delivered traffic is metered even when nothing is
+/// billed; a one-hop relay carries one transit cell; a multi-hop chain
+/// carries one backbone cell per intermediate hop plus the exit transit
+/// cell — the chain pays egress at every hop.
+struct BillCell {
+  int vm_ep = -1;  ///< egressing overlay VM (-1: no rented VM involved)
+  topo::Region egress = topo::Region::kNaEast;  ///< where the bytes go
+  core::PathKind kind = core::PathKind::kDirect;
+  double usd_per_gb = 0.0;
+};
+
+/// Deterministic metered-billing book: GB and USD accumulated per
+/// (overlay VM, egress region, path kind) cell. A plain value type, same
+/// discipline as the NIC ledger: each shard's session table keeps its own
+/// book while every metering event also lands in one shared global ledger,
+/// written on the single-threaded control plane in global event order — so
+/// the global ledger's doubles (and its fingerprint) are bitwise identical
+/// at any shard count, thread count, and SIMD level, while the per-shard
+/// books sum to it within float tolerance.
+class BillingLedger {
+ public:
+  /// Accumulate `gb` (and gb x rate USD) into the cell.
+  void meter(const BillCell& cell, double gb);
+
+  /// Meter one session's accrual: every cell of its bill is charged the
+  /// same delivered `gb` (a multi-hop chain pays at each hop), while the
+  /// delivered counter advances once — so delivered_gb() stays the
+  /// end-to-end transfer volume, not the hop-inflated billing volume.
+  void meter_session(const std::vector<BillCell>& bills, double gb);
+
+  /// Totals, summed over cells in sorted-key order (fixed fold order:
+  /// bitwise deterministic for a given metering sequence).
+  double total_gb() const;
+  double total_usd() const;
+  /// End-to-end GB delivered across all metered sessions (accumulated in
+  /// meter order — deterministic on the global ledger, which is written in
+  /// global event order).
+  double delivered_gb() const { return delivered_gb_; }
+  /// Per-path-kind slices (same fold order).
+  double kind_gb(core::PathKind kind) const;
+  double kind_usd(core::PathKind kind) const;
+
+  std::size_t cell_count() const { return cells_.size(); }
+  std::uint64_t meter_events() const { return meter_events_; }
+
+  /// Order-insensitive-by-construction fingerprint: cells are hashed in
+  /// sorted-key order over the exact bit patterns of their accumulated
+  /// doubles. Two ledgers fed the same per-cell sequences fingerprint
+  /// identically regardless of cell creation order.
+  std::uint64_t fingerprint() const;
+
+ private:
+  struct Cell {
+    double gb = 0.0;
+    double usd = 0.0;
+  };
+  static std::uint64_t key_of(const BillCell& cell);
+  void sorted_keys(std::vector<std::uint64_t>* out) const;
+
+  std::unordered_map<std::uint64_t, Cell> cells_;
+  std::uint64_t meter_events_ = 0;
+  double delivered_gb_ = 0.0;
+};
+
+/// Reserved-spend book mirroring the NIC ledger: each admitted paid
+/// session reserves its demand's spend rate (USD/hour) here; releases
+/// return it. The budget policy checks admissions against the shared
+/// global instance — budgets, like NICs, don't multiply with shards.
+class CostLedger {
+ public:
+  void add(double usd_per_hour);
+  void sub(double usd_per_hour);
+  double reserved_usd_per_hour() const { return reserved_; }
+  double peak_usd_per_hour() const { return peak_; }
+
+ private:
+  double reserved_ = 0.0;
+  double peak_ = 0.0;
+};
+
+}  // namespace cronets::econ

@@ -1,0 +1,75 @@
+#include "econ/pricing_book.h"
+
+#include <algorithm>
+
+#include "sim/env.h"
+
+namespace cronets::econ {
+
+namespace {
+
+/// Continent grouping of the coarse regions: NA east/west share one.
+int continent_of(topo::Region r) {
+  switch (r) {
+    case topo::Region::kNaEast:
+    case topo::Region::kNaWest: return 0;
+    case topo::Region::kEurope: return 1;
+    case topo::Region::kAsia: return 2;
+    case topo::Region::kSouthAmerica: return 3;
+    case topo::Region::kAustralia: return 4;
+  }
+  return -1;
+}
+
+bool is_remote(topo::Region r) {
+  return r == topo::Region::kSouthAmerica || r == topo::Region::kAustralia;
+}
+
+}  // namespace
+
+double egress_usd_per_gb(const PricingBook& book, topo::Region from,
+                         topo::Region to, bool backbone) {
+  const double base =
+      backbone ? book.backbone_usd_per_gb : book.transit_usd_per_gb;
+  double mult = 1.0;
+  if (from != to) {
+    mult = continent_of(from) == continent_of(to)
+               ? book.same_continent_multiplier
+               : book.intercontinental_multiplier;
+    if (is_remote(from) || is_remote(to)) {
+      mult = std::max(mult, book.remote_region_multiplier);
+    }
+  }
+  return base * mult;
+}
+
+double vm_hour_usd(const PricingBook& book, int port_mbps, bool bare_metal) {
+  double monthly = bare_metal ? book.cloud.bare_metal_monthly_usd
+                              : book.cloud.vm_monthly_usd;
+  if (port_mbps >= 10000) {
+    monthly += book.cloud.port_10g_upcharge_usd;
+  } else if (port_mbps >= 1000) {
+    monthly += book.cloud.port_1g_upcharge_usd;
+  }
+  return monthly / book.hours_per_month;
+}
+
+double reference_usd_per_gb(const PricingBook& book) {
+  return book.transit_usd_per_gb;
+}
+
+EconConfig econ_config_from_env(const PricingBook* pricing) {
+  EconConfig cfg;
+  cfg.pricing = pricing;
+  const int p = sim::env_choice("CRONETS_COST_POLICY", 0,
+                                {"performance", "max_goodput_under_budget",
+                                 "min_cost_meeting_slo", "pareto"});
+  cfg.policy = static_cast<CostPolicy>(p);
+  cfg.budget_usd_per_hour =
+      sim::env_double_clamped("CRONETS_COST_BUDGET_USD", 0.0, 0.0, 1e9);
+  cfg.pareto_alpha =
+      sim::env_double_clamped("CRONETS_PARETO_ALPHA", 0.5, 0.0, 1.0);
+  return cfg;
+}
+
+}  // namespace cronets::econ

@@ -1,0 +1,98 @@
+#pragma once
+
+#include "core/cost.h"
+#include "topo/types.h"
+
+namespace cronets::econ {
+
+/// Online ranking objectives the economics plane offers the broker
+/// (selected via CRONETS_COST_POLICY; EXPERIMENTS.md documents each).
+enum class CostPolicy {
+  /// Rank on smoothed goodput only — the pre-econ broker, bit for bit.
+  kPerformance,
+  /// Rank on goodput, but admission reserves each paid session's spend
+  /// rate against a fleet budget (mirroring the NIC ledger): over budget,
+  /// paid candidates are denied and the session falls to cheaper paths.
+  kMaxGoodputUnderBudget,
+  /// Among candidates meeting the SLO, prefer the cheapest ($/GB);
+  /// below the SLO everywhere, fall back to max goodput.
+  kMinCostMeetingSlo,
+  /// Blend normalized goodput and $/GB with a tunable alpha knob
+  /// (alpha = 1 is pure performance, alpha = 0 pure cost).
+  kPareto,
+};
+
+inline const char* cost_policy_name(CostPolicy p) {
+  switch (p) {
+    case CostPolicy::kPerformance: return "performance";
+    case CostPolicy::kMaxGoodputUnderBudget: return "max_goodput_under_budget";
+    case CostPolicy::kMinCostMeetingSlo: return "min_cost_meeting_slo";
+    case CostPolicy::kPareto: return "pareto";
+  }
+  return "?";
+}
+
+/// Per-region online pricing, built on the paper-era core::CloudPricing
+/// (§VII-D: the same Softlayer-2015 numbers the offline cost model uses).
+/// Egress is charged per GB leaving a rented VM; traffic riding the cloud
+/// backbone between two DCs is cheaper than transit egress toward the
+/// public Internet, and region-pair multipliers make long-haul (and
+/// remote-region) egress dearer, as on real clouds.
+struct PricingBook {
+  core::CloudPricing cloud;  ///< VM rental + port tiers + overage rate
+
+  /// Base $/GB of VM egress toward the public Internet (defaults to the
+  /// paper's per-GB overage rate — the marginal cost of relayed traffic).
+  double transit_usd_per_gb = 0.09;
+  /// Base $/GB of DC-to-DC traffic over the provider backbone (multi-hop
+  /// chains pay this at every intermediate hop).
+  double backbone_usd_per_gb = 0.02;
+  /// Region-pair multipliers on either base rate.
+  double same_continent_multiplier = 1.1;   ///< e.g. NA-east <-> NA-west
+  double intercontinental_multiplier = 1.5;
+  /// South America / Australia endpoints (sparse 2015-era connectivity).
+  double remote_region_multiplier = 2.0;
+  /// Amortization denominator: hours in a billing month.
+  double hours_per_month = 730.0;
+};
+
+/// $/GB for traffic egressing a VM in `from` toward `to` (`backbone` =
+/// DC-to-DC over the provider backbone, else transit toward the public
+/// Internet). Pure function of the book and the region pair.
+double egress_usd_per_gb(const PricingBook& book, topo::Region from,
+                         topo::Region to, bool backbone);
+
+/// Amortized $/hour of one rented overlay node at the given port speed
+/// (monthly rental + port-tier upcharge, spread over hours_per_month).
+double vm_hour_usd(const PricingBook& book, int port_mbps,
+                   bool bare_metal = false);
+
+/// The book's reference $/GB (the plain transit rate), used to normalize
+/// candidate costs in the pareto and min-cost objectives.
+double reference_usd_per_gb(const PricingBook& book);
+
+/// Everything the broker needs to run cost-aware: the book (null = the
+/// whole economics plane off, rankings bitwise unchanged), the policy,
+/// and the policy knobs. Lives inside service::RankerConfig.
+struct EconConfig {
+  const PricingBook* pricing = nullptr;
+  CostPolicy policy = CostPolicy::kPerformance;
+  /// Fleet-wide reserved-spend cap in USD/hour for
+  /// kMaxGoodputUnderBudget; 0 = unlimited (the budget gate is off).
+  double budget_usd_per_hour = 0.0;
+  /// kPareto: weight of normalized goodput vs normalized $/GB, in [0, 1].
+  double pareto_alpha = 0.5;
+  /// kMinCostMeetingSlo: a candidate "meets the SLO" when its smoothed
+  /// score is at least this. Defaults to the churn workload's top demand.
+  double slo_bps = 4e6;
+  /// kPareto: goodput normalizer (the 100 Mbps overlay NIC).
+  double pareto_ref_bps = 100e6;
+};
+
+/// Read CRONETS_COST_POLICY, CRONETS_COST_BUDGET_USD (USD/hour, clamped
+/// to [0, 1e9]) and CRONETS_PARETO_ALPHA (clamped to [0, 1]) into an
+/// EconConfig bound to `pricing`. Garbage values warn once and fall back
+/// to the defaults above (sim/env.h parsing rules).
+EconConfig econ_config_from_env(const PricingBook* pricing);
+
+}  // namespace cronets::econ

@@ -168,7 +168,7 @@ std::uint64_t Broker::open_session(int src, int dst, double demand_bps) {
 void Broker::close_session(std::uint64_t id) {
   if (!sessions_.live(id)) return;
   const int pair_idx = sessions_.session(id).pair;
-  if (sessions_.release(ranker_, id)) {
+  if (sessions_.release(ranker_, id, now_)) {
     ++stats_.sessions_released;
     if (monitor_) monitor_->on_release(id, pair_idx, now_);
   }
@@ -236,7 +236,7 @@ void Broker::apply_probe(int pair_idx, const core::PairSample& s, sim::Time t,
   if (changed) ++stats_.ranking_flips;
   int moved = 0;
   if (changed || force_repin) {
-    moved = sessions_.repin_pair(ranker_, pair_idx);
+    moved = sessions_.repin_pair(ranker_, pair_idx, t);
     stats_.migrations += static_cast<std::uint64_t>(moved);
     if (force_repin) stats_.failover_repins += static_cast<std::uint64_t>(moved);
     stamp_decision(static_cast<std::uint64_t>(pair_idx),
@@ -328,6 +328,12 @@ void Broker::handle_failover() {
     monitor_->on_failover_complete(
         since, now_, pairs,
         static_cast<int>(stats_.failover_repins - repins_before));
+  }
+}
+
+void Broker::settle_billing() {
+  for (int i = 0; i < static_cast<int>(ranker_.size()); ++i) {
+    sessions_.settle_pair(ranker_, i, now_);
   }
 }
 

@@ -201,6 +201,12 @@ class Broker : public ControlPlane {
   /// ranking is fresh — the dirty-set property the service tests assert).
   std::uint64_t last_sweep_touched() const { return last_sweep_touched_; }
 
+  /// Meter every still-live session's bytes up to the current simulated
+  /// time into the billing books (end-of-run settlement, walked in pair
+  /// order). Without this, sessions still open at the end of a run would
+  /// never be billed for their final stretch.
+  void settle_billing();
+
   /// Live sessions whose pinned candidate path currently crosses the AS
   /// adjacency (as_a, as_b) — 0 after a completed failover.
   int sessions_traversing(int as_a, int as_b) const;

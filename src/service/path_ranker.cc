@@ -39,6 +39,7 @@ void PathRanker::build_candidates(PairState* p) const {
   Candidate direct;
   direct.kind = core::PathKind::kDirect;
   direct.path = topo_->cached_path(p->src, p->dst);
+  price_candidate(*p, &direct);
   p->candidates.push_back(std::move(direct));
   for (int o : overlay_eps_) {
     if (o == p->src || o == p->dst) continue;
@@ -47,6 +48,7 @@ void PathRanker::build_candidates(PairState* p) const {
     c.overlay_ep = o;
     c.path = topo_->cached_path(p->src, o);
     c.leg2 = topo_->cached_path(o, p->dst);
+    price_candidate(*p, &c);
     p->candidates.push_back(std::move(c));
   }
   // Multi-hop candidates: every ordered (entry VM, exit VM) pair of plane
@@ -86,6 +88,84 @@ void PathRanker::refresh_multihop(const PairState& p, Candidate* c) const {
     plane->composer().mid_segments(c->via, &c->mids);
   }
   c->route_ver = plane->pair_route_version(c->exit_ep);
+  // The chain moved, so what it costs moved with it.
+  price_candidate(p, c);
+}
+
+void PathRanker::price_candidate(const PairState& p, Candidate* c) const {
+  const econ::PricingBook* book = cfg_.econ.pricing;
+  if (book == nullptr) return;
+  c->bills.clear();
+  c->usd_per_gb = 0.0;
+  const topo::Region dst_region = topo_->endpoint(p.dst).region;
+  if (c->kind == core::PathKind::kDirect) {
+    // Zero-rate cell: delivered traffic is metered even when nothing is
+    // billed, so $/Gbps-hour covers the whole fleet, not just relays.
+    c->bills.push_back({-1, dst_region, core::PathKind::kDirect, 0.0});
+    return;
+  }
+  if (c->kind == core::PathKind::kSplitOverlay) {
+    const topo::Region vm = topo_->endpoint(c->overlay_ep).region;
+    const double rate = econ::egress_usd_per_gb(*book, vm, dst_region,
+                                                /*backbone=*/false);
+    c->bills.push_back({c->overlay_ep, dst_region, c->kind, rate});
+    c->usd_per_gb = rate;
+    return;
+  }
+  if (c->kind == core::PathKind::kMultiHop) {
+    if (c->via.empty()) return;  // no usable route: nothing to price
+    // The chain pays egress at every hop: backbone rate between
+    // consecutive VMs, transit rate leaving the exit VM toward dst.
+    for (std::size_t i = 0; i + 1 < c->via.size(); ++i) {
+      const topo::Region from = topo_->endpoint(c->via[i]).region;
+      const topo::Region to = topo_->endpoint(c->via[i + 1]).region;
+      const double rate =
+          econ::egress_usd_per_gb(*book, from, to, /*backbone=*/true);
+      c->bills.push_back({c->via[i], to, c->kind, rate});
+      c->usd_per_gb += rate;
+    }
+    const topo::Region exit = topo_->endpoint(c->via.back()).region;
+    const double rate = econ::egress_usd_per_gb(*book, exit, dst_region,
+                                                /*backbone=*/false);
+    c->bills.push_back({c->via.back(), dst_region, c->kind, rate});
+    c->usd_per_gb += rate;
+  }
+}
+
+double PathRanker::candidate_objective(const Candidate& c) const {
+  const econ::EconConfig& e = cfg_.econ;
+  if (e.pricing == nullptr) return c.score_bps;
+  switch (e.policy) {
+    case econ::CostPolicy::kPerformance:
+    case econ::CostPolicy::kMaxGoodputUnderBudget:
+      // Goodput-ranked (the budget policy constrains admission, not the
+      // ranking): exactly the pre-econ objective.
+      return c.score_bps;
+    case econ::CostPolicy::kMinCostMeetingSlo: {
+      if (e.slo_bps <= 0.0) return c.score_bps;
+      if (c.score_bps >= e.slo_bps) {
+        // SLO met: rank by cheapness inside (1, 2] — any SLO-meeting
+        // candidate beats every SLO-missing one.
+        const double ref = econ::reference_usd_per_gb(*e.pricing);
+        const double cost_norm = ref > 0.0 ? c.usd_per_gb / ref : 0.0;
+        return 1.0 + 1.0 / (1.0 + cost_norm);
+      }
+      // SLO missed: a monotone transform of score into [0, 1), so the
+      // fallback ranking is the performance ranking.
+      return c.score_bps / e.slo_bps;
+    }
+    case econ::CostPolicy::kPareto: {
+      const double ref = econ::reference_usd_per_gb(*e.pricing);
+      const double cost_norm = ref > 0.0 ? c.usd_per_gb / ref : 0.0;
+      const double goodput =
+          e.pareto_ref_bps > 0.0
+              ? std::min(1.0, c.score_bps / e.pareto_ref_bps)
+              : 0.0;
+      return e.pareto_alpha * goodput +
+             (1.0 - e.pareto_alpha) / (1.0 + cost_norm);
+    }
+  }
+  return c.score_bps;
 }
 
 bool PathRanker::apply_sample(int idx, const core::PairSample& s, sim::Time t) {
@@ -182,14 +262,17 @@ bool PathRanker::apply_sample(int idx, const core::PairSample& s, sim::Time t) {
   }
 
   // Re-rank: the challenger must clear the hysteresis margin over the
-  // incumbent's smoothed score (unless the incumbent is down/unreachable).
+  // incumbent's objective (unless the incumbent is down/unreachable).
+  // Under the performance policy the objective IS the smoothed score, so
+  // these comparisons are bitwise identical to the pre-econ ranking.
   int challenger = p.best;
-  double best_score = -1.0;
+  double best_obj = -1.0;
   for (std::size_t ci = 0; ci < p.candidates.size(); ++ci) {
     const Candidate& c = p.candidates[ci];
     if (c.down || !c.measured) continue;
-    if (c.score_bps > best_score) {
-      best_score = c.score_bps;
+    const double obj = candidate_objective(c);
+    if (obj > best_obj) {
+      best_obj = obj;
       challenger = static_cast<int>(ci);
     }
   }
@@ -197,7 +280,7 @@ bool PathRanker::apply_sample(int idx, const core::PairSample& s, sim::Time t) {
   const bool incumbent_usable = !inc.down && inc.measured;
   if (challenger != p.best &&
       (!incumbent_usable ||
-       best_score > inc.score_bps * (1.0 + cfg_.hysteresis))) {
+       best_obj > candidate_objective(inc) * (1.0 + cfg_.hysteresis))) {
     p.best = challenger;
   }
   p.order_dirty = true;  // scores moved; cached admission order is stale
@@ -278,7 +361,9 @@ void PathRanker::ranked_order(int idx, std::vector<int>* out) const {
     const Candidate& ca = p.candidates[static_cast<std::size_t>(a)];
     const Candidate& cb = p.candidates[static_cast<std::size_t>(b)];
     if (ca.down != cb.down) return !ca.down;  // down candidates last
-    if (ca.score_bps != cb.score_bps) return ca.score_bps > cb.score_bps;
+    const double oa = candidate_objective(ca);
+    const double ob = candidate_objective(cb);
+    if (oa != ob) return oa > ob;
     return a < b;
   });
   out->insert(out->begin(), p.best);

@@ -7,6 +7,8 @@
 #include "core/measure_model.h"
 #include "core/overlay.h"
 #include "core/selection.h"
+#include "econ/billing_ledger.h"
+#include "econ/pricing_book.h"
 #include "route/plane.h"
 #include "sim/hash_rng.h"
 #include "sim/time.h"
@@ -37,6 +39,14 @@ struct RankerConfig {
   /// construction). One plane instance per control plane — never share
   /// one across brokers being compared against each other.
   route::RoutePlane* route_plane = nullptr;
+  /// The economics plane (econ::EconConfig). With `econ.pricing` null the
+  /// plane is off: no candidate is priced, the ranking objective is raw
+  /// smoothed goodput, and every fingerprint is bitwise unchanged. With a
+  /// pricing book attached, candidates carry their $/GB and billing cells,
+  /// and `econ.policy` selects the ranking objective (the kPerformance
+  /// policy still ranks on goodput alone — pricing is then pure
+  /// observation for the metered ledger).
+  econ::EconConfig econ;
 };
 
 /// One candidate route of a (src, dst) pair: the direct policy path, a
@@ -60,6 +70,14 @@ struct Candidate {
   std::vector<int> via;
   std::vector<topo::PathRef> mids;
   std::uint64_t route_ver = 0;
+  /// Economics plane (RankerConfig::econ.pricing set): what one GB of this
+  /// candidate's traffic costs, and the per-hop metering cells behind that
+  /// number — direct pays nothing, a one-hop relay pays transit egress at
+  /// its VM, a multi-hop chain pays backbone egress at every intermediate
+  /// hop plus transit at the exit. Recomputed whenever the candidate's
+  /// route is (re)built, so the price always matches the current chain.
+  double usd_per_gb = 0.0;
+  std::vector<econ::BillCell> bills;
 };
 
 /// Ranked path table of one (src, dst) pair, plus the broker bookkeeping
@@ -190,6 +208,16 @@ class PathRanker {
   /// cost scales with probe/mutation churn instead of session count.
   const std::vector<int>& admission_order(int idx);
 
+  /// The scalar the current cost policy ranks candidates by. Under
+  /// kPerformance (or with no pricing book) this is exactly the smoothed
+  /// score — same doubles, same comparisons, bitwise-identical rankings.
+  /// kMinCostMeetingSlo maps SLO-meeting candidates into (1, 2] by
+  /// cheapness and the rest into [0, 1) by score (a monotone transform of
+  /// score below the SLO, so the fallback ranking matches performance);
+  /// kPareto blends normalized goodput and normalized $/GB with alpha.
+  /// Hysteresis applies to this objective, whatever the policy.
+  double candidate_objective(const Candidate& c) const;
+
   /// Whether the pair's cached order is stale (test/bench introspection).
   bool order_dirty(int idx) const {
     return pairs_[static_cast<std::size_t>(idx)].order_dirty;
@@ -210,6 +238,9 @@ class PathRanker {
   /// Re-read the plane's current route for a kMultiHop candidate and
   /// re-intern its segments (entry/exit access legs + backbone mids).
   void refresh_multihop(const PairState& p, Candidate* c) const;
+  /// Recompute the candidate's $/GB and billing cells from the pricing
+  /// book (no-op with the economics plane off).
+  void price_candidate(const PairState& p, Candidate* c) const;
 
   topo::Internet* topo_;
   RankerConfig cfg_;

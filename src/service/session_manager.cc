@@ -39,13 +39,26 @@ double NicLedger::total_used_bps() const {
 
 SessionManager::SessionManager(AdmissionConfig cfg,
                                const std::vector<int>& overlay_eps,
-                               NicLedger* shared_nic, std::uint64_t id_tag)
-    : cfg_(cfg), ledger_(overlay_eps), shared_(shared_nic), id_tag_(id_tag) {
+                               NicLedger* shared_nic, std::uint64_t id_tag,
+                               econ::BillingLedger* shared_billing,
+                               econ::CostLedger* shared_cost)
+    : cfg_(cfg),
+      ledger_(overlay_eps),
+      shared_(shared_nic),
+      id_tag_(id_tag),
+      shared_billing_(shared_billing),
+      shared_cost_(shared_cost) {
   assert((id_tag & ~(0xffull << 56)) == 0 && "tag lives in the top byte");
 }
 
+/// Reserved spend rate of a session: USD per wall-clock hour at its demand
+/// rate and its candidate's $/GB (demand_bps/8e9 GB/s * 3600 s/h * $/GB).
+static double spend_rate_usd_per_hour(double demand_bps, double usd_per_gb) {
+  return demand_bps / 8e9 * 3600.0 * usd_per_gb;
+}
+
 void SessionManager::reserve(const Candidate& c, double demand_bps,
-                             Session* s) {
+                             sim::Time now, Session* s) {
   s->reserved_eps.clear();
   if (c.kind == core::PathKind::kSplitOverlay) {
     s->reserved_eps.push_back(c.overlay_ep);
@@ -59,6 +72,16 @@ void SessionManager::reserve(const Candidate& c, double demand_bps,
     ledger_.add(ep, demand_bps);
     if (shared_) shared_->add(ep, demand_bps);
   }
+  // Billing snapshot + spend-rate reservation (no-op with pricing off:
+  // candidates then carry no bills and a zero rate).
+  s->bills = c.bills;
+  s->usd_per_gb = c.usd_per_gb;
+  s->billed_until = now;
+  s->cost_rate_usd_per_hour = spend_rate_usd_per_hour(demand_bps, c.usd_per_gb);
+  if (s->cost_rate_usd_per_hour > 0.0) {
+    cost_.add(s->cost_rate_usd_per_hour);
+    if (shared_cost_) shared_cost_->add(s->cost_rate_usd_per_hour);
+  }
 }
 
 void SessionManager::unreserve(Session* s) {
@@ -67,6 +90,23 @@ void SessionManager::unreserve(Session* s) {
     if (shared_) shared_->sub(ep, s->demand_bps);
   }
   s->reserved_eps.clear();
+  if (s->cost_rate_usd_per_hour > 0.0) {
+    cost_.sub(s->cost_rate_usd_per_hour);
+    if (shared_cost_) shared_cost_->sub(s->cost_rate_usd_per_hour);
+  }
+  s->cost_rate_usd_per_hour = 0.0;
+  s->bills.clear();
+  s->usd_per_gb = 0.0;
+}
+
+void SessionManager::accrue(Session* s, sim::Time now) {
+  if (now > s->billed_until && !s->bills.empty()) {
+    const double gb =
+        s->demand_bps * (now - s->billed_until).to_seconds() / 8e9;
+    billing_.meter_session(s->bills, gb);
+    if (shared_billing_) shared_billing_->meter_session(s->bills, gb);
+  }
+  s->billed_until = now;
 }
 
 int SessionManager::pick_candidate(PathRanker& ranker, int pair_idx,
@@ -75,6 +115,16 @@ int SessionManager::pick_candidate(PathRanker& ranker, int pair_idx,
   // steady-state admission), recomputed only after a probe/mutation.
   const std::vector<int>& order = ranker.admission_order(pair_idx);
   const PairState& p = ranker.pair(pair_idx);
+  const econ::EconConfig& econ = ranker.config().econ;
+  // Budget gate (max_goodput_under_budget): a paid candidate is only
+  // admissible while reserving its spend rate keeps the fleet's reserved
+  // USD/hour within budget. The check goes through the authority book —
+  // the shared global one when sharded, since budgets don't multiply.
+  const bool budget_gated =
+      econ.pricing != nullptr &&
+      econ.policy == econ::CostPolicy::kMaxGoodputUnderBudget &&
+      econ.budget_usd_per_hour > 0.0;
+  const econ::CostLedger& cost_authority = shared_cost_ ? *shared_cost_ : cost_;
   int direct_fallback = 0;
   bool denied = false;
   for (int ci : order) {
@@ -88,6 +138,15 @@ int SessionManager::pick_candidate(PathRanker& ranker, int pair_idx,
       continue;  // direct is down: prefer a live overlay, fall back below
     }
     if (c.down) continue;
+    if (budget_gated) {
+      const double rate = spend_rate_usd_per_hour(demand_bps, c.usd_per_gb);
+      if (rate > 0.0 && cost_authority.reserved_usd_per_hour() + rate >
+                            econ.budget_usd_per_hour) {
+        ++budget_denied_;
+        denied = true;
+        continue;
+      }
+    }
     // Capacity check against the authority ledger: the shared global one
     // when sharded (NICs are physical), this table's own otherwise. A
     // multi-hop candidate needs headroom on every VM of its chain.
@@ -141,7 +200,15 @@ std::uint64_t SessionManager::admit(PathRanker& ranker, int pair_idx,
   PairState& p = ranker.pair(pair_idx);
   s.pos_in_pair = static_cast<std::uint32_t>(p.sessions.size());
   p.sessions.push_back(slot);
-  reserve(p.candidates[static_cast<std::size_t>(ci)], demand_bps, &s);
+  const Candidate& chosen = p.candidates[static_cast<std::size_t>(ci)];
+  reserve(chosen, demand_bps, now, &s);
+  // SLO attainment at admission time: did the session land on a measured
+  // candidate whose smoothed score meets the configured SLO?
+  ++slo_total_;
+  if (chosen.measured &&
+      chosen.score_bps >= ranker.config().econ.slo_bps) {
+    ++slo_met_;
+  }
   ++active_;
   return id_of(slot);
 }
@@ -166,10 +233,12 @@ void SessionManager::detach_from_pair(PairState& p, Session& s) {
   p.sessions.pop_back();
 }
 
-bool SessionManager::release(PathRanker& ranker, std::uint64_t id) {
+bool SessionManager::release(PathRanker& ranker, std::uint64_t id,
+                             sim::Time now) {
   if (!live(id)) return false;
   Session& s = slots_[slot_of(id)];
   PairState& p = ranker.pair(s.pair);
+  accrue(&s, now);
   unreserve(&s);
   detach_from_pair(p, s);
   ++s.gen;  // even: free
@@ -184,7 +253,8 @@ void SessionManager::pair_session_ids(const PairState& p,
   for (std::uint32_t slot : p.sessions) out->push_back(id_of(slot));
 }
 
-int SessionManager::repin_pair(PathRanker& ranker, int pair_idx) {
+int SessionManager::repin_pair(PathRanker& ranker, int pair_idx,
+                               sim::Time now) {
   PairState& p = ranker.pair(pair_idx);
   int migrated = 0;
   // Deterministic session order (admission order with swap-removals); the
@@ -194,15 +264,23 @@ int SessionManager::repin_pair(PathRanker& ranker, int pair_idx) {
     Session& s = slots_[slot];
     const Candidate& cur = p.candidates[static_cast<std::size_t>(s.candidate)];
     if (s.candidate == p.best && !cur.down) continue;
+    accrue(&s, now);  // bytes so far are billed at the *old* path's rates
     unreserve(&s);
     const int target = pick_candidate(ranker, pair_idx, s.demand_bps);
-    reserve(p.candidates[static_cast<std::size_t>(target)], s.demand_bps, &s);
+    reserve(p.candidates[static_cast<std::size_t>(target)], s.demand_bps, now,
+            &s);
     if (target != s.candidate) {
       s.candidate = target;
       ++migrated;
     }
   }
   return migrated;
+}
+
+void SessionManager::settle_pair(PathRanker& ranker, int pair_idx,
+                                 sim::Time now) {
+  PairState& p = ranker.pair(pair_idx);
+  for (std::uint32_t slot : p.sessions) accrue(&slots_[slot], now);
 }
 
 }  // namespace cronets::service

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "econ/billing_ledger.h"
 #include "service/path_ranker.h"
 #include "sim/time.h"
 
@@ -57,6 +58,15 @@ struct Session {
   /// re-routed while the session stays pinned — releases must return the
   /// capacity to the NICs that actually hold it, not the current chain.
   std::vector<int> reserved_eps;
+  /// Economics plane: billing cells and $/GB of the candidate the session
+  /// reserved onto, copied at reservation time for the same reason as
+  /// reserved_eps — a plane re-route must not silently change what an
+  /// already-pinned session pays. `billed_until` is the accrual watermark:
+  /// bytes from it to "now" are metered at release/repin/settle time.
+  double usd_per_gb = 0.0;
+  double cost_rate_usd_per_hour = 0.0;
+  sim::Time billed_until{};
+  std::vector<econ::BillCell> bills;
 };
 
 /// Session table + per-overlay-node NIC accounting. Sessions live in a
@@ -71,8 +81,15 @@ class SessionManager {
   /// capacity stays physical while per-shard ledgers keep the accounting
   /// split (they sum to the shared ledger at all times). `id_tag` is OR'd
   /// into the top byte of every session id (shard routing; 0 = untagged).
+  /// `shared_billing` / `shared_cost` play the same authority role for the
+  /// economics plane: the sharded broker's global billing ledger and
+  /// global spend-rate book, written in global event order so their
+  /// contents are bitwise invariant to the shard count, while this table's
+  /// own books keep the per-shard split (sums match within rounding).
   SessionManager(AdmissionConfig cfg, const std::vector<int>& overlay_eps,
-                 NicLedger* shared_nic = nullptr, std::uint64_t id_tag = 0);
+                 NicLedger* shared_nic = nullptr, std::uint64_t id_tag = 0,
+                 econ::BillingLedger* shared_billing = nullptr,
+                 econ::CostLedger* shared_cost = nullptr);
 
   static constexpr std::uint64_t kInvalidSession = 0;
   /// Top-byte tag a session id was minted with (0 for untagged tables).
@@ -84,14 +101,22 @@ class SessionManager {
   std::uint64_t admit(PathRanker& ranker, int pair_idx, double demand_bps,
                       sim::Time now);
 
-  /// Release a live session (false if the id is stale).
-  bool release(PathRanker& ranker, std::uint64_t id);
+  /// Release a live session, metering its bytes up to `now` first (false
+  /// if the id is stale).
+  bool release(PathRanker& ranker, std::uint64_t id, sim::Time now);
 
   /// Re-pin the pair's sessions onto its current best candidate, subject
   /// to NIC capacity and hysteresis having already been applied by the
   /// ranker (sessions only move when their candidate differs from best or
-  /// is down). Returns the number of migrated sessions.
-  int repin_pair(PathRanker& ranker, int pair_idx);
+  /// is down). A moving session's bytes are metered against its *old*
+  /// bills up to `now` before it re-reserves at the new candidate's rates.
+  /// Returns the number of migrated sessions.
+  int repin_pair(PathRanker& ranker, int pair_idx, sim::Time now);
+
+  /// Meter every live session of the pair up to `now` without releasing
+  /// anything (end-of-run settlement). Callers that need a shard-count-
+  /// invariant global ledger must settle pairs in global-pair-id order.
+  void settle_pair(PathRanker& ranker, int pair_idx, sim::Time now);
 
   bool live(std::uint64_t id) const;
   const Session& session(std::uint64_t id) const;
@@ -112,6 +137,20 @@ class SessionManager {
   /// Number of admissions/migrations that wanted an overlay candidate but
   /// were pushed to a lower-ranked path by a full NIC.
   std::uint64_t overlay_denied() const { return overlay_denied_; }
+
+  /// This table's own metered billing book (per-shard slice when a shared
+  /// ledger is attached) and reserved-spend-rate book.
+  const econ::BillingLedger& billing() const { return billing_; }
+  const econ::CostLedger& cost_ledger() const { return cost_; }
+  /// Admissions/migrations pushed off a paid candidate because reserving
+  /// its spend rate would breach CRONETS_COST_BUDGET_USD (the
+  /// max_goodput_under_budget policy; 0 everywhere else).
+  std::uint64_t budget_denied() const { return budget_denied_; }
+  /// SLO attainment counters: of all admissions, how many landed on a
+  /// measured candidate whose smoothed score met EconConfig::slo_bps.
+  /// Plain integers, so per-shard counts sum exactly to the global count.
+  std::uint64_t slo_met() const { return slo_met_; }
+  std::uint64_t slo_total() const { return slo_total_; }
 
   /// Append the ids of the pair's live sessions (admission order with
   /// swap-removals — the same deterministic order repin_pair walks).
@@ -145,19 +184,32 @@ class SessionManager {
   /// First admissible candidate in ranked order for `demand`.
   int pick_candidate(PathRanker& ranker, int pair_idx, double demand_bps);
   /// Reserve `demand` on the candidate's relay VMs, recording them into
-  /// `s.reserved_eps`; unreserve returns exactly what was recorded.
-  void reserve(const Candidate& c, double demand_bps, Session* s);
+  /// `s.reserved_eps`; unreserve returns exactly what was recorded. Also
+  /// snapshots the candidate's bills and reserves the session's spend rate
+  /// in the cost books (accrual starts at `now`).
+  void reserve(const Candidate& c, double demand_bps, sim::Time now,
+               Session* s);
   void unreserve(Session* s);
+  /// Meter the session's bytes from its accrual watermark up to `now`
+  /// against its snapshotted bills, advancing the watermark.
+  void accrue(Session* s, sim::Time now);
   void detach_from_pair(PairState& p, Session& s);
 
   AdmissionConfig cfg_;
   NicLedger ledger_;            // this table's own (per-shard) accounting
   NicLedger* shared_ = nullptr; // capacity authority when sharded
   std::uint64_t id_tag_ = 0;
+  econ::BillingLedger billing_;            // per-shard metered billing
+  econ::BillingLedger* shared_billing_ = nullptr;  // global book (sharded)
+  econ::CostLedger cost_;                  // per-shard reserved spend rate
+  econ::CostLedger* shared_cost_ = nullptr;        // budget authority
   std::vector<Session> slots_;
   std::vector<std::uint32_t> free_;
   std::size_t active_ = 0;
   std::uint64_t overlay_denied_ = 0;
+  std::uint64_t budget_denied_ = 0;
+  std::uint64_t slo_met_ = 0;
+  std::uint64_t slo_total_ = 0;
 };
 
 }  // namespace cronets::service

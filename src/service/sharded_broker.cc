@@ -35,7 +35,8 @@ ShardedBroker::ShardedBroker(topo::Internet* topo,
   for (int s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(
         topo_, cfg_, overlay_eps_, admission, &global_nic_,
-        static_cast<std::uint64_t>(s + 1) << 56));
+        static_cast<std::uint64_t>(s + 1) << 56, &global_billing_,
+        &global_cost_));
   }
   cursor_.assign(shards_.size(), 0);
   listener_id_ = topo_->add_mutation_listener(
@@ -109,7 +110,7 @@ void ShardedBroker::close_session(std::uint64_t id) {
   if (tag < 1 || tag > num_shards()) return;
   Shard& sh = *shards_[static_cast<std::size_t>(tag - 1)];
   if (!sh.sessions.live(id)) return;
-  if (sh.sessions.release(sh.ranker, id)) ++sh.released;
+  if (sh.sessions.release(sh.ranker, id, now_)) ++sh.released;
 }
 
 void ShardedBroker::warm_up() {
@@ -219,7 +220,7 @@ void ShardedBroker::apply_probe(Shard& sh, int global_id, int local_idx,
   if (changed) ++sh.flips;
   int moved = 0;
   if (changed || force_repin) {
-    moved = sh.sessions.repin_pair(sh.ranker, local_idx);
+    moved = sh.sessions.repin_pair(sh.ranker, local_idx, t);
     sh.migrations += static_cast<std::uint64_t>(moved);
     if (force_repin) sh.failover_repins += static_cast<std::uint64_t>(moved);
     stamp_pair_repin(p, moved);
@@ -284,6 +285,18 @@ void ShardedBroker::handle_failover() {
   last_failover_reaction_ = now_ - since;
 }
 
+void ShardedBroker::settle_billing() {
+  // Global-pair-id order, not shard order: each settled session appends to
+  // the global billing ledger's doubles, and the accumulation order must
+  // be a pure function of the registration order for the ledger to stay
+  // bitwise invariant to the partitioning.
+  for (std::size_t g = 0; g < shard_of_pair_.size(); ++g) {
+    const int s = shard_of_pair_[g];
+    Shard& sh = *shards_[static_cast<std::size_t>(s)];
+    sh.sessions.settle_pair(sh.ranker, local_of_pair_[g], now_);
+  }
+}
+
 std::size_t ShardedBroker::active_sessions() const {
   std::size_t n = 0;
   for (const auto& sh : shards_) n += sh->sessions.active();
@@ -333,6 +346,9 @@ ShardedBrokerStats ShardedBroker::stats() const {
     // fingerprint independent of the partitioning.
     out.decision_fingerprint +=
         sh->ranker.partial_decision_fingerprint(&sh->local_to_global);
+    out.budget_denied += sh->sessions.budget_denied();
+    out.slo_met += sh->sessions.slo_met();
+    out.slo_total += sh->sessions.slo_total();
     out.shards.push_back(ss);
   }
   out.failover_events = failover_events_;

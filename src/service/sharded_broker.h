@@ -58,6 +58,10 @@ struct ShardedBrokerStats {
   /// per-pair decision chains keyed by global pair id, merged across
   /// shards in shard-index order by wrapping 64-bit addition.
   std::uint64_t decision_fingerprint = 0;
+  /// Economics-plane counters, summed over shards (exact integers).
+  std::uint64_t budget_denied = 0;
+  std::uint64_t slo_met = 0;
+  std::uint64_t slo_total = 0;
   /// Goodput regret vs. the per-sample oracle, folded over pairs in
   /// global-pair-id order (fixed summation order: bitwise invariant).
   double regret_sum = 0.0;
@@ -143,6 +147,17 @@ class ShardedBroker final : public ControlPlane {
   const SessionManager& shard_sessions(int shard) const;
   /// The shared capacity authority all shards reserve against.
   const NicLedger& global_nic() const { return global_nic_; }
+  /// The global economics books every shard also writes to, in global
+  /// event order — bitwise identical at any shard count (the per-shard
+  /// books, reachable via shard_sessions, sum to these within rounding).
+  const econ::BillingLedger& global_billing() const { return global_billing_; }
+  const econ::CostLedger& global_cost() const { return global_cost_; }
+
+  /// Meter every still-live session's bytes up to the current simulated
+  /// time (end-of-run settlement). Pairs are settled in global-pair-id
+  /// order — NOT shard order — so the global ledger's accumulation order,
+  /// and hence its doubles, stay invariant to the shard count.
+  void settle_billing();
   const ProbeScheduler& scheduler() const { return scheduler_; }
   const std::vector<int>& overlay_eps() const { return overlay_eps_; }
 
@@ -168,9 +183,11 @@ class ShardedBroker final : public ControlPlane {
   struct Shard {
     Shard(topo::Internet* topo, const BrokerConfig& cfg,
           const std::vector<int>& overlay_eps, AdmissionConfig admission,
-          NicLedger* shared_nic, std::uint64_t id_tag)
+          NicLedger* shared_nic, std::uint64_t id_tag,
+          econ::BillingLedger* shared_billing, econ::CostLedger* shared_cost)
         : ranker(topo, cfg.ranking, overlay_eps),
-          sessions(admission, overlay_eps, shared_nic, id_tag) {}
+          sessions(admission, overlay_eps, shared_nic, id_tag, shared_billing,
+                   shared_cost) {}
 
     PathRanker ranker;
     SessionManager sessions;
@@ -209,6 +226,8 @@ class ShardedBroker final : public ControlPlane {
   sim::EventQueue queue_;
   sim::Time now_{0};
   NicLedger global_nic_;
+  econ::BillingLedger global_billing_;
+  econ::CostLedger global_cost_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ProbeScheduler scheduler_;
   int listener_id_ = -1;

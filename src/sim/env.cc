@@ -119,6 +119,27 @@ double env_double(const char* name, double def, double lo, double hi) {
   return v;
 }
 
+double env_double_clamped(const char* name, double def, double lo, double hi) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return def;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (!fully_parsed(s, end) || errno == ERANGE || v != v) {
+    if (first_warning(name, "not a number")) warn(name, s, "not a number");
+    return def;
+  }
+  if (v < lo || v > hi) {
+    const double clamped = v < lo ? lo : hi;
+    if (first_warning(name, "clamped")) {
+      std::fprintf(stderr, "cronets: clamping %s=%g into [%g, %g] -> %g\n",
+                   name, v, lo, hi, clamped);
+    }
+    return clamped;
+  }
+  return v;
+}
+
 int env_choice(const char* name, int def,
                std::initializer_list<const char*> choices) {
   const char* s = std::getenv(name);

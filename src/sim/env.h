@@ -32,6 +32,13 @@ std::uint64_t env_u64(const char* name, std::uint64_t def);
 /// Floating-point knob in [lo, hi]; `def` when unset or rejected.
 double env_double(const char* name, double def, double lo, double hi);
 
+/// Floating-point knob clamped into [lo, hi]: an out-of-range value is
+/// pulled to the nearest bound (one-shot stderr warning) instead of being
+/// replaced by the default — "CRONETS_PARETO_ALPHA=2" means "all goodput",
+/// not "whatever the default is". Garbage (and NaN) still falls back to
+/// `def` with a one-shot warning, mirroring env_int_clamped.
+double env_double_clamped(const char* name, double def, double lo, double hi);
+
 /// Boolean knob: unset, "0", "false", "off", or "" are false; any other
 /// value (including "1", "true", "on") is true.
 bool env_flag(const char* name);
